@@ -1,0 +1,54 @@
+"""Ablation: effect of the measurement-noise model on the analysis results.
+
+DESIGN.md calls out the deterministic noise model as a design choice of the simulated
+substrate.  This ablation rebuilds one campaign with the noise disabled and checks that
+the headline quantities (optimum, median, max/median speedup, importance ranking) are
+stable -- i.e. the reproduction's conclusions do not hinge on the injected noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import report
+from repro.analysis.campaign import Campaign
+from repro.analysis.importance import feature_importance
+
+from conftest import write_result
+
+
+def test_ablation_noise_sensitivity(benchmark, benchmarks, gpus):
+    """Pnpoly campaign on the RTX 3090 with and without measurement noise."""
+
+    def build():
+        rows = {}
+        for label, with_noise in (("with_noise", True), ("without_noise", False)):
+            campaign = Campaign({"pnpoly": benchmarks["pnpoly"]},
+                                {"RTX_3090": gpus["RTX_3090"]},
+                                with_noise=with_noise, seed=2023)
+            cache = campaign.cache("pnpoly", "RTX_3090")
+            importance = feature_importance(cache, n_estimators=100, max_depth=5,
+                                            n_repeats=2)
+            rows[label] = {
+                "optimum": cache.optimum(),
+                "median": cache.median(),
+                "speedup": cache.median() / cache.optimum(),
+                "top_parameter": importance.ranked()[0][0],
+                "r2": importance.r2,
+            }
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = report.format_table(
+        ("Variant", "Optimum[ms]", "Median[ms]", "Speedup", "Top parameter", "R^2"),
+        [(k, f"{v['optimum']:.3f}", f"{v['median']:.3f}", f"{v['speedup']:.2f}x",
+          v["top_parameter"], f"{v['r2']:.4f}") for k, v in rows.items()],
+        title="Ablation - measurement-noise sensitivity (pnpoly, RTX 3090)")
+    write_result("ablation_noise.txt", text)
+
+    noisy, clean = rows["with_noise"], rows["without_noise"]
+    assert abs(noisy["optimum"] - clean["optimum"]) / clean["optimum"] < 0.05
+    assert abs(noisy["speedup"] - clean["speedup"]) / clean["speedup"] < 0.10
+    assert noisy["top_parameter"] == clean["top_parameter"]
+    # Without noise the regression model fits the analytical model essentially exactly.
+    assert clean["r2"] >= noisy["r2"] - 1e-6

@@ -1,0 +1,65 @@
+"""Ablation: tuning on the full space vs the importance-reduced space.
+
+Table VIII's point is that the feature-importance analysis identifies the interesting
+part of each search space.  This ablation verifies the claim operationally: random
+search restricted to the reduced space (unimportant parameters frozen at the best-known
+values) reaches a given quality in no more evaluations than random search on the full
+space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import report
+from repro.analysis.convergence import random_search_convergence
+from repro.analysis.importance import important_parameters
+from repro.core.cache import EvaluationCache
+
+from conftest import write_result
+
+
+def test_ablation_reduced_space_tuning(benchmark, benchmarks, caches, importance_reports):
+    """Random-search convergence on the full vs reduced Convolution space (RTX 3090)."""
+
+    bench_name, gpu_name = "convolution", "RTX_3090"
+    cache = caches[(bench_name, gpu_name)]
+    reports = [rep for (b, _), rep in importance_reports.items() if b == bench_name]
+
+    def build():
+        keep = important_parameters(reports, threshold=0.05)
+        best_config = cache.best().config
+        # Restrict the cached campaign to configurations agreeing with the best
+        # configuration on every dropped (unimportant) parameter.
+        frozen = {name: best_config[name] for name in cache.space.parameter_names
+                  if name not in keep}
+        reduced_cache = EvaluationCache(bench_name, gpu_name, cache.space, exhaustive=False)
+        for obs in cache.valid_observations():
+            if all(obs.config[k] == v for k, v in frozen.items()):
+                reduced_cache.add_observation(obs)
+        full_curve = random_search_convergence(cache, repetitions=50, budget=300, seed=9)
+        reduced_curve = random_search_convergence(reduced_cache, repetitions=50,
+                                                  budget=min(300, reduced_cache.num_valid),
+                                                  seed=9)
+        return keep, full_curve, reduced_curve, len(reduced_cache)
+
+    keep, full_curve, reduced_curve, reduced_size = benchmark.pedantic(
+        build, rounds=1, iterations=1)
+
+    def evals_to(curve, threshold):
+        needed = curve.evaluations_to_reach(threshold)
+        return needed if needed is not None else curve.budget + 1
+
+    text = report.format_table(
+        ("Space", "Configs", "evals to 80%", "evals to 90%"),
+        [("full", cache.num_valid, evals_to(full_curve, 0.8), evals_to(full_curve, 0.9)),
+         (f"reduced ({', '.join(keep)})", reduced_size,
+          evals_to(reduced_curve, 0.8), evals_to(reduced_curve, 0.9))],
+        title="Ablation - tuning on the full vs importance-reduced space (convolution, RTX 3090)")
+    write_result("ablation_reduced_space.txt", text)
+
+    assert 0 < reduced_size < cache.num_valid
+    # The reduced space still contains near-optimal configurations...
+    assert reduced_curve.optimum_ms <= full_curve.optimum_ms * 1.05
+    # ...and random search gets to 80% of optimal at least as quickly there.
+    assert evals_to(reduced_curve, 0.8) <= evals_to(full_curve, 0.8)

@@ -1,0 +1,51 @@
+"""Fig. 1: performance distribution of configurations for every benchmark and GPU.
+
+Regenerates the distribution summaries (histogram, percentiles, max/median speedup,
+near-optimal cluster size) that underlie the paper's Fig. 1 panels, and checks the
+paper's two qualitative observations: distribution shapes are benchmark-specific but
+consistent across GPUs, and Hotspot exhibits a distinct cluster of very highly
+performing configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import report
+from repro.analysis.distribution import distribution_summary
+
+from conftest import write_result
+
+
+def test_fig1_distributions(benchmark, caches):
+    """Distribution summaries for all 7 benchmarks x 4 GPUs."""
+
+    def build():
+        return [distribution_summary(cache) for cache in caches.values()]
+
+    summaries = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = report.format_distribution(summaries)
+    write_result("fig1_distribution.txt", text)
+
+    assert len(summaries) == len(caches)
+
+    # Shapes are similar across GPUs for the same benchmark: the skewness of the
+    # relative-performance distribution varies less within a benchmark than across
+    # benchmarks.
+    by_benchmark: dict[str, list[float]] = {}
+    for s in summaries:
+        by_benchmark.setdefault(s.benchmark, []).append(s.skewness)
+    within = np.mean([np.std(v) for v in by_benchmark.values()])
+    across = np.std([np.mean(v) for v in by_benchmark.values()])
+    assert within < across
+
+    # Hotspot's cluster of configurations with >4x speedup over the median (the
+    # paper's ">10x" cluster, compressed in the simulated substrate) exists on every
+    # GPU and is absent for the other benchmarks.
+    for s in summaries:
+        rel = s.relative_performance
+        fast_cluster = float(np.mean(rel > 4.0))
+        if s.benchmark == "hotspot":
+            assert fast_cluster > 0.001, (s.benchmark, s.gpu)
+        else:
+            assert fast_cluster < 0.001, (s.benchmark, s.gpu)

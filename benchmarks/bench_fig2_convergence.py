@@ -1,0 +1,48 @@
+"""Fig. 2: convergence towards the optimum under random search.
+
+Regenerates the median-of-repetitions random-search convergence curves for every
+benchmark and GPU (the paper uses 100 repetitions over the campaign caches) and checks
+the ordering the paper reads off the figure: Expdist and Nbody reach 90% of optimal
+within tens of evaluations while Convolution and GEMM need an order of magnitude more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import report
+from repro.analysis.convergence import random_search_convergence
+
+from conftest import write_result
+
+
+def test_fig2_random_search_convergence(benchmark, caches):
+    """Median random-search convergence, 100 repetitions per (benchmark, GPU)."""
+
+    def build():
+        return [random_search_convergence(cache, repetitions=100, budget=1000, seed=42)
+                for cache in caches.values()]
+
+    curves = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = report.format_convergence(curves)
+    write_result("fig2_convergence.txt", text)
+
+    assert len(curves) == len(caches)
+    for curve in curves:
+        # Monotone non-decreasing median trajectory that ends above 80% of optimal.
+        assert np.all(np.diff(curve.median_relative_performance) >= -1e-12)
+        assert curve.median_relative_performance[-1] > 0.8
+
+    def mean_evals_to_90(benchmark_name: str) -> float:
+        values = []
+        for curve in curves:
+            if curve.benchmark == benchmark_name:
+                needed = curve.evaluations_to_reach(0.9)
+                values.append(float(needed) if needed is not None else float(curve.budget))
+        return float(np.mean(values))
+
+    # The paper's ordering: the easy benchmarks (Expdist, Nbody) converge at least an
+    # order of magnitude faster than the hard ones (Convolution, GEMM).
+    easy = max(mean_evals_to_90("expdist"), mean_evals_to_90("nbody"))
+    hard = min(mean_evals_to_90("convolution"), mean_evals_to_90("gemm"))
+    assert easy < hard

@@ -1,0 +1,46 @@
+"""Fig. 3: proportion-of-centrality search difficulty for GEMM, Convolution and Pnpoly.
+
+Builds the fitness-flow graph of each exhaustive campaign, computes PageRank and the
+proportion-of-centrality metric (Schoonhoven et al.), and checks the paper's reading of
+the figure: local search is expected to fare better on Convolution than on GEMM and
+Pnpoly (higher centrality proportion at tight bands).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import report
+from repro.analysis.centrality_report import centrality_study
+
+from conftest import write_result
+
+PROPORTIONS = (0.01, 0.02, 0.05, 0.10, 0.20, 0.50)
+
+
+def test_fig3_proportion_of_centrality(benchmark, caches):
+    """Proportion of centrality for the three exhaustively-searched small benchmarks."""
+
+    def build():
+        return centrality_study(caches, benchmark_names=("gemm", "convolution", "pnpoly"),
+                                proportions=PROPORTIONS)
+
+    reports = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = report.format_centrality(reports)
+    write_result("fig3_centrality.txt", text)
+
+    assert len(reports) == 12  # 3 benchmarks x 4 GPUs
+    for rep in reports.values():
+        values = np.asarray(rep.values)
+        assert np.all(np.diff(values) >= -1e-12)  # monotone in the proportion band
+        assert 0.0 <= values[0] <= values[-1] <= 1.0
+        assert rep.num_minima >= 1
+
+    def mean_at(benchmark_name: str, proportion: float) -> float:
+        return float(np.mean([rep.value_at(proportion)
+                              for (bench, _), rep in reports.items()
+                              if bench == benchmark_name]))
+
+    # Convolution's landscape funnels local search towards good minima more than
+    # GEMM's does (the paper's conclusion from Fig. 3).
+    assert mean_at("convolution", 0.10) > mean_at("gemm", 0.10)

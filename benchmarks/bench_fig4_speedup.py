@@ -1,0 +1,41 @@
+"""Fig. 4: max speedup over the median configuration.
+
+Regenerates the bar chart data of Fig. 4 (one bar per benchmark and GPU) and checks the
+paper's headline observations: most benchmarks offer a 1.2-4x gain over the median
+configuration while Hotspot is the outlier with an order-of-magnitude gain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import report
+from repro.analysis.speedup import speedup_study
+
+from conftest import write_result
+
+
+def test_fig4_max_speedup_over_median(benchmark, caches):
+    """Max speedup over the median configuration for every benchmark and GPU."""
+
+    def build():
+        return speedup_study(caches)
+
+    entries = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = report.format_speedups(entries)
+    write_result("fig4_speedup_over_median.txt", text)
+
+    assert len(entries) == len(caches)
+    by_benchmark: dict[str, list[float]] = {}
+    for entry in entries:
+        assert entry.speedup >= 1.0
+        by_benchmark.setdefault(entry.benchmark, []).append(entry.speedup)
+
+    hotspot = float(np.mean(by_benchmark["hotspot"]))
+    others = max(float(np.mean(v)) for k, v in by_benchmark.items() if k != "hotspot")
+    # Hotspot is the clear outlier (paper: 11-12x vs 1.5-3.06x for the rest).
+    assert hotspot > 4.0
+    assert hotspot > 1.5 * others
+    for name, values in by_benchmark.items():
+        if name != "hotspot":
+            assert max(values) < 4.5, name

@@ -1,0 +1,62 @@
+"""Fig. 5: performance portability of optimal configurations across GPUs.
+
+Regenerates the transfer matrices of the exhaustively-searched benchmarks
+(Convolution, Pnpoly, Nbody): for each pair of GPUs, how much of the target GPU's
+achievable performance is retained when simply reusing the configuration tuned on the
+source GPU.  Checks the paper's conclusions: transfers within an architecture family
+(RTX 3060 <-> RTX 3090, RTX 2080 Ti <-> RTX Titan) retain most of the performance,
+while the worst cross-family transfers lose tens of percent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import report
+from repro.analysis.portability import portability_study
+
+from conftest import write_result
+
+FAMILIES = {
+    "RTX_2080_Ti": "Turing",
+    "RTX_Titan": "Turing",
+    "RTX_3060": "Ampere",
+    "RTX_3090": "Ampere",
+}
+
+
+def test_fig5_performance_portability(benchmark, benchmarks, caches, gpus):
+    """Portability matrices for Convolution, Pnpoly and Nbody."""
+
+    def build():
+        return portability_study(benchmarks, caches, gpus,
+                                 benchmark_names=("convolution", "pnpoly", "nbody"))
+
+    matrices = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = report.format_portability(matrices)
+    write_result("fig5_portability.txt", text)
+
+    assert set(matrices) == {"convolution", "pnpoly", "nbody"}
+
+    same_family, cross_family = [], []
+    for matrix in matrices.values():
+        rp = matrix.relative_performance
+        np.testing.assert_allclose(np.diag(rp), 1.0)
+        # A transferred configuration that cannot even launch on the target device
+        # (e.g. an Ampere-tuned shared-memory tile on a Turing card) scores 0.
+        assert np.all(rp >= 0.0) and np.all(rp <= 1.0 + 1e-9)
+        for i, src in enumerate(matrix.gpus):
+            for j, dst in enumerate(matrix.gpus):
+                if i == j:
+                    continue
+                if FAMILIES[src] == FAMILIES[dst]:
+                    same_family.append(rp[i, j])
+                else:
+                    cross_family.append(rp[i, j])
+
+    # Same-family transfers retain more performance than cross-family transfers, and
+    # the worst cross-family transfer loses a substantial fraction (paper: down to
+    # 58.5% of the target's optimum).
+    assert np.mean(same_family) > np.mean(cross_family)
+    assert min(cross_family) < 0.90
+    assert np.mean(same_family) > 0.85

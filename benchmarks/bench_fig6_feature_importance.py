@@ -1,0 +1,60 @@
+"""Fig. 6 and Sec. VI-F: permutation feature importance of the tuning parameters.
+
+Trains the GBDT regression model (the CatBoost substitute) on every campaign, reports
+the model quality (R^2) and the permutation feature importance of every parameter, and
+checks the paper's observations: the models predict configuration performance very
+accurately, only a few parameters carry most of the importance for GEMM and Nbody, the
+importance ranking is consistent across GPUs, and the importance sums exceed 1 --
+evidence of parameter interactions and hence of the need for global optimization
+(Sec. VI-H).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import report
+
+from conftest import write_result
+
+
+def test_fig6_permutation_feature_importance(benchmark, importance_reports):
+    """Fit quality and PFI for every benchmark and GPU."""
+
+    reports = benchmark.pedantic(lambda: importance_reports, rounds=1, iterations=1)
+    text = report.format_importance(reports)
+    write_result("fig6_feature_importance.txt", text)
+
+    assert len(reports) == 28  # 7 benchmarks x 4 GPUs
+
+    # Model quality: the regression models explain configuration performance well.
+    r2_by_benchmark: dict[str, list[float]] = {}
+    for (bench, _), rep in reports.items():
+        r2_by_benchmark.setdefault(bench, []).append(rep.r2)
+    for bench, values in r2_by_benchmark.items():
+        assert min(values) > 0.85, (bench, values)
+
+    # Only a few parameters matter for GEMM and Nbody (Fig. 6a / 6b): the top-3
+    # parameters carry most of the total importance.
+    for bench in ("gemm", "nbody"):
+        for (b, gpu), rep in reports.items():
+            if b != bench:
+                continue
+            ranked = [v for _, v in rep.ranked()]
+            top3 = sum(ranked[:3])
+            assert top3 > 0.6 * sum(max(v, 0.0) for v in ranked), (bench, gpu)
+
+    # Importance rankings are consistent across GPUs: the most important parameter on
+    # one GPU is within the top three on every other GPU.
+    for bench in r2_by_benchmark:
+        tops = []
+        for (b, gpu), rep in reports.items():
+            if b == bench:
+                tops.append([name for name, _ in rep.ranked()[:3]])
+        leaders = {t[0] for t in tops}
+        for leader in leaders:
+            assert all(leader in t for t in tops), (bench, leaders, tops)
+
+    # Interactions: for most campaigns the PFI sum exceeds 1 (Sec. VI-H).
+    totals = [rep.total_importance for rep in reports.values()]
+    assert np.mean([t > 1.0 for t in totals]) > 0.5

@@ -1,0 +1,71 @@
+"""Shared fixtures of the benchmark harness.
+
+The harness regenerates every table and figure of the paper's evaluation section from
+the simulated campaigns.  Campaign size is controlled by the ``REPRO_BENCH_SAMPLES``
+environment variable:
+
+* default (2 500 samples for the three huge spaces, exhaustive for the rest) -- a
+  faithful but fast regeneration, a few minutes end to end;
+* ``REPRO_BENCH_SAMPLES=10000`` -- the paper's exact experimental design (Sec. V).
+
+Rendered tables are written to ``results/`` next to the repository root so the numbers
+survive the pytest run, and returned by each benchmark for inspection.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.campaign import Campaign
+from repro.analysis.importance import importance_study
+from repro.gpus import all_gpus
+from repro.kernels import all_benchmarks
+
+#: Where the regenerated tables/figures are written.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def _sample_size() -> int:
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", "2500"))
+
+
+@pytest.fixture(scope="session")
+def benchmarks():
+    """The full benchmark suite at paper-scale workloads."""
+    return all_benchmarks()
+
+
+@pytest.fixture(scope="session")
+def gpus():
+    """The paper's four GPUs."""
+    return all_gpus()
+
+
+@pytest.fixture(scope="session")
+def campaign(benchmarks, gpus):
+    """The measurement campaign shared by every figure/table benchmark."""
+    return Campaign(benchmarks, gpus, sample_size=_sample_size(), seed=2023)
+
+
+@pytest.fixture(scope="session")
+def caches(campaign):
+    """All (benchmark, GPU) campaign caches, built once per session."""
+    return campaign.all_caches()
+
+
+@pytest.fixture(scope="session")
+def importance_reports(caches):
+    """Fig. 6 feature-importance reports, shared with the Table VIII benchmark."""
+    return importance_study(caches, n_estimators=150, max_depth=5, learning_rate=0.1,
+                            n_repeats=2, max_samples=6000)
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist one rendered figure/table under ``results/`` and return the path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compare every optimizer in the suite on the same benchmark.
+
+This is the use-case the paper builds the suite for: run many optimization algorithms
+against identical tunable kernels and compare how close they get to the optimum within
+a fixed evaluation budget.  The comparison runs on a *cache replay* -- the benchmark is
+evaluated once (exhaustively or by sampling) and every tuner then draws its
+measurements from that cache, exactly how BAT distributes pre-measured campaigns so
+that search research does not need a GPU.
+
+Run with::
+
+    python examples/compare_tuners.py [benchmark] [gpu] [budget] [repetitions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import benchmark_suite, gpu_catalog
+from repro.analysis import report
+from repro.core.runner import run_tuning
+from repro.tuners import all_tuners
+
+
+def main() -> None:
+    benchmark_name = sys.argv[1] if len(sys.argv) > 1 else "pnpoly"
+    gpu_name = sys.argv[2] if len(sys.argv) > 2 else "RTX_3090"
+    budget = int(sys.argv[3]) if len(sys.argv) > 3 else 150
+    repetitions = int(sys.argv[4]) if len(sys.argv) > 4 else 5
+
+    benchmark = benchmark_suite()[benchmark_name]
+    gpu = gpu_catalog()[gpu_name]
+
+    sample_size = None if benchmark.space.cardinality <= 100_000 else 5_000
+    print(f"Building the {benchmark.display_name} campaign on {gpu.name} "
+          f"({'exhaustive' if sample_size is None else f'{sample_size} samples'}) ...")
+    cache = benchmark.build_cache(gpu, sample_size=sample_size, seed=1)
+    optimum = cache.optimum()
+    print(f"  {cache.num_valid:,} valid configurations, optimum {optimum:.3f} ms, "
+          f"median {cache.median():.3f} ms")
+    print()
+
+    problem = cache.to_problem(strict=False)
+    rows = []
+    for tuner_name, factory in all_tuners().items():
+        relative = []
+        evals_to_90 = []
+        for rep in range(repetitions):
+            problem.reset_cache()
+            result = run_tuning(factory(seed=rep), problem, max_evaluations=budget)
+            relative.append(optimum / result.best_value)
+            needed = result.evaluations_to_reach(0.9, optimum=optimum)
+            evals_to_90.append(needed if needed is not None else budget + 1)
+        rows.append((tuner_name, f"{np.mean(relative):.3f}", f"{np.min(relative):.3f}",
+                     f"{np.median(evals_to_90):.0f}"))
+
+    rows.sort(key=lambda r: -float(r[1]))
+    print(report.format_table(
+        ("Tuner", "Mean rel. perf", "Worst rel. perf", "Median evals to 90%"), rows,
+        title=f"Tuner comparison on {benchmark.display_name} / {gpu.name} "
+              f"({budget} evaluations, {repetitions} repetitions)"))
+
+
+if __name__ == "__main__":
+    main()

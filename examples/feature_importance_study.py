@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Feature-importance study (the paper's Fig. 6) for one benchmark.
+
+Builds the measurement campaign for one benchmark on every GPU, fits the GBDT
+regression model on each campaign, and reports the permutation feature importance of
+every tuning parameter plus the model's R^2 -- the analysis the paper uses to argue
+which parameters matter, that their importance is consistent across GPUs, and that the
+interactions between them call for global optimization.
+
+Run with::
+
+    python examples/feature_importance_study.py [benchmark] [sample_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import benchmark_suite, gpu_catalog
+from repro.analysis import report
+from repro.analysis.importance import feature_importance, important_parameters
+
+
+def main() -> None:
+    benchmark_name = sys.argv[1] if len(sys.argv) > 1 else "hotspot"
+    sample_size = int(sys.argv[2]) if len(sys.argv) > 2 else 3000
+
+    benchmark = benchmark_suite()[benchmark_name]
+    gpus = gpu_catalog()
+
+    reports = {}
+    for gpu_name, gpu in gpus.items():
+        size = None if benchmark.space.cardinality <= 20_000 else sample_size
+        print(f"Campaign on {gpu_name} "
+              f"({'exhaustive' if size is None else f'{size} samples'}) ...")
+        cache = benchmark.build_cache(gpu, sample_size=size, seed=1)
+        reports[(benchmark_name, gpu_name)] = feature_importance(
+            cache, n_estimators=150, max_depth=5, n_repeats=2)
+
+    print()
+    print(report.format_importance(reports, top_k=6))
+    print()
+
+    keep = important_parameters(list(reports.values()), threshold=0.05)
+    dropped = [p for p in benchmark.space.parameter_names if p not in keep]
+    reduced = benchmark.space.reduced(keep) if keep else benchmark.space
+    print(f"Parameters with importance >= 0.05 on any GPU : {', '.join(keep)}")
+    print(f"Parameters that could be dropped              : {', '.join(dropped) or '(none)'}")
+    print(f"Reduced search-space cardinality              : {reduced.cardinality:,} "
+          f"(full: {benchmark.space.cardinality:,})")
+    totals = [r.total_importance for r in reports.values()]
+    print(f"Sum of importances per GPU                    : "
+          f"{', '.join(f'{t:.2f}' for t in totals)} "
+          f"(values above 1 indicate parameter interactions)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Performance-portability study (the paper's Fig. 5) for one benchmark.
+
+Tunes a kernel exhaustively on each of the four simulated GPUs, then transfers each
+GPU's optimal configuration to every other GPU and reports what fraction of the
+achievable performance the transferred configuration retains.  This is the experiment
+behind the paper's headline number: naively reusing a configuration tuned on a
+different GPU can leave 40%+ of the performance on the table.
+
+Run with::
+
+    python examples/portability_study.py [benchmark]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import benchmark_suite, gpu_catalog
+from repro.analysis import report
+from repro.analysis.portability import portability_matrix
+
+SUPPORTED = ("pnpoly", "nbody", "convolution", "gemm")
+
+
+def main() -> None:
+    benchmark_name = sys.argv[1] if len(sys.argv) > 1 else "pnpoly"
+    if benchmark_name not in SUPPORTED:
+        raise SystemExit(f"portability needs an exhaustively searchable benchmark; "
+                         f"choose one of {SUPPORTED}")
+
+    benchmark = benchmark_suite()[benchmark_name]
+    gpus = gpu_catalog()
+
+    print(f"Exhaustively evaluating {benchmark.display_name} on all four GPUs ...")
+    caches = {}
+    for gpu_name, gpu in gpus.items():
+        caches[gpu_name] = benchmark.build_cache(gpu)
+        best = caches[gpu_name].best()
+        print(f"  {gpu_name:12s} optimum {best.value:8.3f} ms  config {dict(best.config)}")
+    print()
+
+    matrix = portability_matrix(benchmark, caches, gpus)
+    print(report.format_portability({benchmark_name: matrix}))
+    print()
+    source, target, value = matrix.worst_transfer()
+    print(f"Worst transfer: the configuration tuned on {source} reaches only "
+          f"{value * 100:.1f}% of the optimal performance on {target}.")
+    print(f"Mean cross-device retention: {matrix.mean_off_diagonal() * 100:.1f}%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: tune one kernel on one (simulated) GPU.
+
+This is the 60-second tour of the public API:
+
+1. pick a benchmark from the suite and a GPU from the catalog,
+2. turn the pair into a tuning problem (the shared problem interface),
+3. run an optimizer under an evaluation budget,
+4. inspect the result and compare it against the known optimum of the search space.
+
+Run with::
+
+    python examples/quickstart.py [benchmark] [gpu] [budget]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import benchmark_suite, gpu_catalog
+from repro.core.runner import run_tuning
+from repro.tuners import GeneticAlgorithm, RandomSearch
+
+
+def main() -> None:
+    benchmark_name = sys.argv[1] if len(sys.argv) > 1 else "gemm"
+    gpu_name = sys.argv[2] if len(sys.argv) > 2 else "RTX_3090"
+    budget = int(sys.argv[3]) if len(sys.argv) > 3 else 200
+
+    benchmark = benchmark_suite()[benchmark_name]
+    gpu = gpu_catalog()[gpu_name]
+
+    print(f"Benchmark : {benchmark.display_name} ({benchmark.description})")
+    print(f"Workload  : {benchmark.workload.description} {dict(benchmark.workload.sizes)}")
+    print(f"Space     : {benchmark.space.dimensions} parameters, "
+          f"{benchmark.space.cardinality:,} raw configurations")
+    print(f"Device    : {gpu.name} ({gpu.architecture}, {gpu.sm_count} SMs, "
+          f"{gpu.fp32_tflops:.1f} TFLOP/s, {gpu.memory_bandwidth_gb_s:.0f} GB/s)")
+    print()
+
+    # The shared problem interface: any tuner can consume this object.
+    problem = benchmark.problem(gpu)
+
+    for tuner in (RandomSearch(seed=0), GeneticAlgorithm(seed=0)):
+        problem.reset_cache()
+        result = run_tuning(tuner, problem, max_evaluations=budget)
+        best = result.best_observation
+        print(f"--- {tuner.name} ({budget} evaluations) ---")
+        print(f"best runtime : {best.value:.3f} ms "
+              f"({result.num_failures} failed configurations along the way)")
+        print(f"best config  : {best.config}")
+        print()
+
+    # For the small benchmarks we can afford the exhaustive optimum as a yardstick.
+    if benchmark.space.cardinality <= 20_000:
+        cache = benchmark.build_cache(gpu)
+        print(f"exhaustive optimum: {cache.optimum():.3f} ms "
+              f"(median configuration: {cache.median():.3f} ms)")
+
+
+if __name__ == "__main__":
+    main()

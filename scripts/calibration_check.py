@@ -1,0 +1,62 @@
+"""Calibration check: compare the simulated campaigns against the paper's headline numbers.
+
+Run with ``python scripts/calibration_check.py [--full]``.  The default uses reduced
+sample sizes so the check finishes in a couple of minutes; ``--full`` reproduces the
+paper-scale campaign sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.analysis.campaign import Campaign
+from repro.analysis.convergence import random_search_convergence
+from repro.analysis.distribution import distribution_summary
+from repro.analysis.importance import importance_study
+from repro.analysis.portability import portability_study
+from repro.analysis.speedup import speedup_study
+from repro.analysis import report
+from repro.kernels import all_benchmarks
+from repro.gpus import all_gpus
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale campaign sizes")
+    parser.add_argument("--gpus", nargs="*", default=None, help="subset of GPUs")
+    args = parser.parse_args()
+
+    benchmarks = all_benchmarks()
+    gpus = all_gpus()
+    if args.gpus:
+        gpus = {k: v for k, v in gpus.items() if k in set(args.gpus)}
+
+    sample_size = 10_000 if args.full else 4_000
+    campaign = Campaign(benchmarks, gpus, sample_size=sample_size)
+
+    t0 = time.time()
+    caches = campaign.all_caches()
+    print(f"campaign built in {time.time() - t0:.1f}s "
+          f"({sum(len(c) for c in caches.values())} evaluations)")
+
+    print()
+    print(report.format_distribution([distribution_summary(c) for c in caches.values()]))
+    print()
+    print(report.format_speedups(speedup_study(caches)))
+    print()
+    curves = [random_search_convergence(c, repetitions=50) for c in caches.values()]
+    print(report.format_convergence(curves))
+    print()
+    matrices = portability_study(benchmarks, caches, gpus)
+    print(report.format_portability(matrices))
+    print()
+    t0 = time.time()
+    reports = importance_study(caches, n_estimators=120, max_depth=5, n_repeats=2,
+                               max_samples=8000)
+    print(f"(importance models fitted in {time.time() - t0:.1f}s)")
+    print(report.format_importance(reports))
+
+
+if __name__ == "__main__":
+    main()

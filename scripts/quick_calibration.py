@@ -1,0 +1,52 @@
+"""Quick calibration loop: per-benchmark distribution shape against paper targets.
+
+Prints, for each benchmark on each GPU:
+* max speedup over median (paper Fig. 4 target),
+* fraction of valid configurations within 11.1% of the best runtime (controls how fast
+  random search reaches 90% of optimal -- paper Fig. 2 target),
+* estimated evaluations to 90% (0.693 / fraction).
+
+Targets (from the paper):
+  gemm / convolution : speedup 1.5-3x,  hundreds of evals to 90%  (fraction ~0.2-0.7%)
+  pnpoly / dedisp    : speedup 1.5-3x,  ~100 evals to 90%         (fraction ~0.7-1.5%)
+  nbody / expdist    : speedup 1.5-3x,  ~10 evals to 90%          (fraction ~5-15%)
+  hotspot            : speedup ~11-12x, fast convergence          (fraction ~2-10%)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.gpus import all_gpus
+from repro.kernels import all_benchmarks
+
+SAMPLED = {"hotspot", "dedispersion", "expdist"}
+
+
+def main() -> None:
+    gpu_names = sys.argv[1:] or ["RTX_3090", "RTX_2080_Ti"]
+    benchmarks = all_benchmarks()
+    gpus = all_gpus()
+    sample = 3000
+    for gpu_name in gpu_names:
+        gpu = gpus[gpu_name]
+        print(f"=== {gpu_name} ===")
+        for name, bm in benchmarks.items():
+            t0 = time.time()
+            size = sample if (name in SAMPLED or bm.space.cardinality > 100_000) else None
+            cache = bm.build_cache(gpu, sample_size=size, seed=1)
+            values = cache.values()
+            best = values.min()
+            median = float(np.median(values))
+            frac = float(np.mean(values <= best / 0.9))
+            est = 0.693 / frac if frac > 0 else float("inf")
+            print(f"  {name:14s} n={values.size:6d} speedup={median/best:6.2f}x "
+                  f"frac90={frac*100:6.2f}% est_evals90={est:7.1f} "
+                  f"best={best:9.3f} med={median:9.3f}  ({time.time()-t0:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Analysis layer: one module per figure/table of the paper's evaluation.
+
+============================  =========================================================
+:mod:`repro.analysis.campaign`            runs and caches the measurement campaigns
+:mod:`repro.analysis.distribution`        Fig. 1 -- configuration performance distributions
+:mod:`repro.analysis.convergence`         Fig. 2 -- random-search convergence
+:mod:`repro.analysis.centrality_report`   Fig. 3 -- proportion of centrality
+:mod:`repro.analysis.speedup`             Fig. 4 -- max speedup over the median configuration
+:mod:`repro.analysis.portability`         Fig. 5 -- performance portability matrices
+:mod:`repro.analysis.importance`          Fig. 6 -- permutation feature importance (+ R^2)
+:mod:`repro.analysis.spacesize`           Table VIII -- search-space sizes
+:mod:`repro.analysis.report`              plain-text rendering of every result
+============================  =========================================================
+"""
+
+from repro.analysis.campaign import Campaign, PAPER_SAMPLED_BENCHMARKS, PAPER_SAMPLE_SIZE
+from repro.analysis.distribution import DistributionSummary, distribution_summary
+from repro.analysis.convergence import ConvergenceCurve, random_search_convergence
+from repro.analysis.centrality_report import centrality_study
+from repro.analysis.speedup import SpeedupEntry, max_speedup_over_median, speedup_study
+from repro.analysis.portability import PortabilityMatrix, portability_matrix, portability_study
+from repro.analysis.importance import ImportanceReport, feature_importance, importance_study
+from repro.analysis.spacesize import SpaceSizeRow, space_size_table
+from repro.analysis import report
+
+__all__ = [
+    "Campaign",
+    "PAPER_SAMPLED_BENCHMARKS",
+    "PAPER_SAMPLE_SIZE",
+    "DistributionSummary",
+    "distribution_summary",
+    "ConvergenceCurve",
+    "random_search_convergence",
+    "centrality_study",
+    "SpeedupEntry",
+    "max_speedup_over_median",
+    "speedup_study",
+    "PortabilityMatrix",
+    "portability_matrix",
+    "portability_study",
+    "ImportanceReport",
+    "feature_importance",
+    "importance_study",
+    "SpaceSizeRow",
+    "space_size_table",
+    "report",
+]

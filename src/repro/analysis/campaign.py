@@ -1,0 +1,157 @@
+"""Measurement campaigns.
+
+Everything in the paper's evaluation section is computed from per-(benchmark, GPU)
+campaign caches.  The experimental design (Sec. V) is:
+
+* **exhaustive** evaluation of the whole valid space for Pnpoly, Nbody, GEMM and
+  Convolution;
+* **10 000 unique random configurations** for Hotspot, Dedispersion and Expdist (their
+  spaces have 1e7--1e8 points).
+
+:class:`Campaign` reproduces that design against the simulated GPUs, memoises the
+caches in memory (so one pytest/benchmark session never evaluates the same campaign
+twice), and can persist/load them as cache files.  A ``scale`` parameter shrinks the
+sampled campaigns and swaps exhaustive enumeration for sampling above a cardinality
+limit, which is what the unit tests and the quick benchmark presets use.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.core.cache import EvaluationCache
+from repro.gpus.specs import GPUSpec, all_gpus
+from repro.io.cachefile import load_cache, save_cache
+from repro.kernels import KernelBenchmark, all_benchmarks
+
+__all__ = ["Campaign", "PAPER_SAMPLED_BENCHMARKS", "PAPER_SAMPLE_SIZE"]
+
+#: Benchmarks the paper samples (10 000 random configurations) instead of enumerating.
+PAPER_SAMPLED_BENCHMARKS: frozenset[str] = frozenset({"hotspot", "dedispersion", "expdist"})
+
+#: Number of random configurations per sampled campaign in the paper.
+PAPER_SAMPLE_SIZE: int = 10_000
+
+
+class Campaign:
+    """Runs and memoises the measurement campaigns of the paper.
+
+    Parameters
+    ----------
+    benchmarks:
+        Benchmarks to include (default: the full suite).
+    gpus:
+        Devices to include (default: the paper's four GPUs).
+    sample_size:
+        Number of unique random configurations for sampled campaigns
+        (paper: 10 000).
+    exhaustive_limit:
+        Benchmarks whose *cardinality* exceeds this limit are sampled even if the
+        paper enumerates them; ``None`` follows the paper exactly.  Tests use a small
+        limit to stay fast.
+    seed:
+        Base seed of the sampled campaigns (each GPU gets ``seed + index``).
+    with_noise:
+        Whether the simulated measurements include the deterministic noise model.
+    """
+
+    def __init__(self, benchmarks: Mapping[str, KernelBenchmark] | None = None,
+                 gpus: Mapping[str, GPUSpec] | None = None,
+                 sample_size: int = PAPER_SAMPLE_SIZE,
+                 exhaustive_limit: int | None = None,
+                 seed: int = 2023, with_noise: bool = True):
+        self.benchmarks = dict(benchmarks) if benchmarks is not None else all_benchmarks()
+        self.gpus = dict(gpus) if gpus is not None else all_gpus()
+        self.sample_size = int(sample_size)
+        self.exhaustive_limit = exhaustive_limit
+        self.seed = int(seed)
+        self.with_noise = with_noise
+        self._caches: dict[tuple[str, str], EvaluationCache] = {}
+
+    # ------------------------------------------------------------------- protocol
+
+    def is_sampled(self, benchmark_name: str) -> bool:
+        """True when the campaign for this benchmark uses random sampling."""
+        benchmark = self.benchmarks[benchmark_name]
+        if benchmark_name in PAPER_SAMPLED_BENCHMARKS:
+            return True
+        if self.exhaustive_limit is not None:
+            return benchmark.space.cardinality > self.exhaustive_limit
+        return False
+
+    def campaign_sample_size(self, benchmark_name: str) -> int | None:
+        """Sample size used for this benchmark (None = exhaustive)."""
+        return self.sample_size if self.is_sampled(benchmark_name) else None
+
+    # --------------------------------------------------------------------- caches
+
+    def cache(self, benchmark_name: str, gpu_name: str) -> EvaluationCache:
+        """The campaign cache of one (benchmark, GPU) pair (built on first access)."""
+        key = (benchmark_name, gpu_name)
+        if key not in self._caches:
+            benchmark = self.benchmarks[benchmark_name]
+            gpu = self.gpus[gpu_name]
+            gpu_index = sorted(self.gpus).index(gpu_name)
+            self._caches[key] = benchmark.build_cache(
+                gpu,
+                sample_size=self.campaign_sample_size(benchmark_name),
+                seed=self.seed + gpu_index,
+                with_noise=self.with_noise,
+            )
+        return self._caches[key]
+
+    def caches_for_benchmark(self, benchmark_name: str) -> dict[str, EvaluationCache]:
+        """Caches of one benchmark on every GPU, keyed by GPU name."""
+        return {gpu_name: self.cache(benchmark_name, gpu_name) for gpu_name in self.gpus}
+
+    def all_caches(self) -> dict[tuple[str, str], EvaluationCache]:
+        """Every (benchmark, GPU) cache of the campaign."""
+        for benchmark_name in self.benchmarks:
+            for gpu_name in self.gpus:
+                self.cache(benchmark_name, gpu_name)
+        return dict(self._caches)
+
+    # ---------------------------------------------------------------- persistence
+
+    def save(self, directory: str | Path, compress: bool = True) -> list[Path]:
+        """Persist every built cache as ``<benchmark>_<gpu>.json[.gz]`` files."""
+        directory = Path(directory)
+        written: list[Path] = []
+        suffix = ".json.gz" if compress else ".json"
+        for (benchmark_name, gpu_name), cache in self._caches.items():
+            written.append(save_cache(cache, directory / f"{benchmark_name}_{gpu_name}{suffix}"))
+        return written
+
+    def load(self, directory: str | Path) -> int:
+        """Load previously saved caches from ``directory``; returns how many were loaded."""
+        directory = Path(directory)
+        loaded = 0
+        for benchmark_name, benchmark in self.benchmarks.items():
+            for gpu_name in self.gpus:
+                for suffix in (".json.gz", ".json"):
+                    path = directory / f"{benchmark_name}_{gpu_name}{suffix}"
+                    if path.exists():
+                        self._caches[(benchmark_name, gpu_name)] = load_cache(
+                            path, space=benchmark.space)
+                        loaded += 1
+                        break
+        return loaded
+
+    # -------------------------------------------------------------------- summary
+
+    def summary(self) -> list[dict[str, object]]:
+        """One row per built cache: sizes, best/median runtimes."""
+        rows: list[dict[str, object]] = []
+        for (benchmark_name, gpu_name), cache in sorted(self._caches.items()):
+            stats = cache.statistics()
+            rows.append({
+                "benchmark": benchmark_name,
+                "gpu": gpu_name,
+                "entries": len(cache),
+                "valid": cache.num_valid,
+                "exhaustive": cache.exhaustive,
+                "best_ms": stats["best"],
+                "median_ms": stats["median"],
+            })
+        return rows

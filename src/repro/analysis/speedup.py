@@ -1,0 +1,55 @@
+"""Max speedup over the median configuration (paper Fig. 4).
+
+Fig. 4 reports, per benchmark and GPU, the ratio between the median configuration's
+runtime and the best configuration's runtime -- i.e. how much an autotuner can gain
+over a "typical" configuration.  The paper finds most benchmarks between 1.5x and
+3.06x, with Hotspot as the outlier at 11.1--12.0x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.cache import EvaluationCache
+
+__all__ = ["SpeedupEntry", "max_speedup_over_median", "speedup_study"]
+
+
+@dataclass(frozen=True)
+class SpeedupEntry:
+    """Max-speedup-over-median of one (benchmark, GPU) campaign."""
+
+    benchmark: str
+    gpu: str
+    median_ms: float
+    best_ms: float
+    speedup: float
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "benchmark": self.benchmark,
+            "gpu": self.gpu,
+            "median_ms": self.median_ms,
+            "best_ms": self.best_ms,
+            "speedup": self.speedup,
+        }
+
+
+def max_speedup_over_median(cache: EvaluationCache) -> SpeedupEntry:
+    """Speedup of the best configuration over the median configuration of one cache."""
+    median = cache.median()
+    best = cache.optimum()
+    return SpeedupEntry(
+        benchmark=cache.benchmark,
+        gpu=cache.gpu,
+        median_ms=median,
+        best_ms=best,
+        speedup=median / best,
+    )
+
+
+def speedup_study(caches: Mapping[tuple[str, str], EvaluationCache]) -> list[SpeedupEntry]:
+    """Fig. 4 over a whole campaign: one entry per (benchmark, GPU) cache."""
+    return [max_speedup_over_median(cache) for cache in caches.values()]

@@ -1,0 +1,250 @@
+"""Evaluation caches: the campaign data behind every figure of the paper.
+
+The paper's methodology is cache-centric: for each (benchmark, GPU) pair the authors
+either exhaustively evaluate the whole valid search space (Pnpoly, Nbody, GEMM,
+Convolution) or evaluate 10 000 random configurations (Hotspot, Dedispersion, Expdist),
+and *all* analyses -- distributions, random-search convergence, centrality, speedups,
+portability, feature importance -- are then computed from those stored measurements.
+
+:class:`EvaluationCache` is that store.  It maps configurations to measured runtimes,
+remembers which configurations were invalid, knows summary statistics, can be encoded
+into ML feature matrices, and can be replayed as a :class:`~repro.core.problem.TuningProblem`
+so that tuners can be benchmarked against cached data without re-running the device
+model (exactly how BAT replays its own caches).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import CacheMissError, ReproError
+from repro.core.problem import TuningProblem
+from repro.core.result import Observation
+from repro.core.searchspace import SearchSpace, config_key
+
+__all__ = ["EvaluationCache"]
+
+
+class EvaluationCache:
+    """Measured runtimes for one benchmark on one (simulated) GPU.
+
+    Parameters
+    ----------
+    benchmark:
+        Benchmark name (e.g. ``"hotspot"``).
+    gpu:
+        Device name (e.g. ``"RTX_3090"``).
+    space:
+        The search space the configurations belong to.
+    exhaustive:
+        True when the cache covers every valid configuration of the space (affects how
+        analyses interpret the data; the paper marks Hotspot/Dedisp/Expdist caches as
+        sampled).
+    """
+
+    def __init__(self, benchmark: str, gpu: str, space: SearchSpace,
+                 exhaustive: bool = False):
+        self.benchmark = benchmark
+        self.gpu = gpu
+        self.space = space
+        self.exhaustive = exhaustive
+        self._entries: dict[tuple, Observation] = {}
+        self.metadata: dict[str, Any] = {}
+
+    # --------------------------------------------------------------------- mutation
+
+    def add(self, config: Mapping[str, Any], value: float, valid: bool = True,
+            error: str = "") -> None:
+        """Store one measurement (overwrites an existing entry for the same config)."""
+        obs = Observation(config=dict(config), value=value if valid else math.inf,
+                          valid=valid, error=error,
+                          evaluation_index=len(self._entries),
+                          gpu=self.gpu, benchmark=self.benchmark)
+        self._entries[config_key(config)] = obs
+
+    def add_observation(self, observation: Observation) -> None:
+        """Store an existing observation object."""
+        self._entries[observation.key] = observation
+
+    def update(self, observations: Iterable[Observation]) -> None:
+        """Store many observations."""
+        for obs in observations:
+            self.add_observation(obs)
+
+    # ---------------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, config: Mapping[str, Any]) -> bool:
+        return config_key(config) in self._entries
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self._entries.values())
+
+    def get(self, config: Mapping[str, Any]) -> Observation | None:
+        """The stored observation for ``config`` or None."""
+        return self._entries.get(config_key(config))
+
+    def lookup(self, config: Mapping[str, Any]) -> Observation:
+        """Like :meth:`get` but raises :class:`CacheMissError` when absent."""
+        obs = self.get(config)
+        if obs is None:
+            raise CacheMissError(
+                f"configuration not in {self.benchmark}/{self.gpu} cache: {dict(config)}")
+        return obs
+
+    @property
+    def observations(self) -> tuple[Observation, ...]:
+        """All stored observations (insertion order)."""
+        return tuple(self._entries.values())
+
+    def valid_observations(self) -> list[Observation]:
+        """Only the successfully measured configurations."""
+        return [o for o in self._entries.values() if not o.is_failure]
+
+    @property
+    def num_valid(self) -> int:
+        """Number of successful measurements."""
+        return sum(1 for o in self._entries.values() if not o.is_failure)
+
+    @property
+    def num_invalid(self) -> int:
+        """Number of failed configurations stored."""
+        return len(self._entries) - self.num_valid
+
+    # ------------------------------------------------------------------- statistics
+
+    def values(self, valid_only: bool = True) -> np.ndarray:
+        """Measured runtimes as a float array (valid entries only by default)."""
+        if valid_only:
+            return np.array([o.value for o in self._entries.values() if not o.is_failure],
+                            dtype=float)
+        return np.array([o.value for o in self._entries.values()], dtype=float)
+
+    def configs(self, valid_only: bool = True) -> list[dict[str, Any]]:
+        """Stored configurations, aligned with :meth:`values`."""
+        if valid_only:
+            return [dict(o.config) for o in self._entries.values() if not o.is_failure]
+        return [dict(o.config) for o in self._entries.values()]
+
+    def best(self) -> Observation:
+        """The fastest configuration in the cache."""
+        valid = self.valid_observations()
+        if not valid:
+            raise ReproError(f"cache {self.benchmark}/{self.gpu} has no valid entries")
+        return min(valid, key=lambda o: o.value)
+
+    def worst(self) -> Observation:
+        """The slowest valid configuration in the cache."""
+        valid = self.valid_observations()
+        if not valid:
+            raise ReproError(f"cache {self.benchmark}/{self.gpu} has no valid entries")
+        return max(valid, key=lambda o: o.value)
+
+    def optimum(self) -> float:
+        """Runtime of the best configuration (the paper's reference optimum)."""
+        return self.best().value
+
+    def median(self) -> float:
+        """Median runtime of the valid configurations (Fig. 1 centring, Fig. 4 baseline)."""
+        vals = self.values()
+        if vals.size == 0:
+            raise ReproError(f"cache {self.benchmark}/{self.gpu} has no valid entries")
+        return float(np.median(vals))
+
+    def statistics(self) -> dict[str, float]:
+        """Summary statistics used by reports."""
+        vals = self.values()
+        if vals.size == 0:
+            raise ReproError(f"cache {self.benchmark}/{self.gpu} has no valid entries")
+        return {
+            "count": float(len(self._entries)),
+            "valid": float(vals.size),
+            "best": float(vals.min()),
+            "worst": float(vals.max()),
+            "median": float(np.median(vals)),
+            "mean": float(vals.mean()),
+            "std": float(vals.std()),
+        }
+
+    # -------------------------------------------------------------------- ML export
+
+    def to_feature_matrix(self, valid_only: bool = True) -> tuple[np.ndarray, np.ndarray]:
+        """Encode the cache as ``(X, y)`` for the ML substrate.
+
+        ``X`` has one column per parameter (in search-space order), ``y`` holds the
+        measured runtimes.
+        """
+        configs = self.configs(valid_only=valid_only)
+        if not configs:
+            raise ReproError(f"cache {self.benchmark}/{self.gpu} has no entries to encode")
+        X = self.space.encode_batch(configs)
+        if valid_only:
+            y = self.values(valid_only=True)
+        else:
+            y = np.array([o.value for o in self._entries.values()], dtype=float)
+        return X, y
+
+    # ------------------------------------------------------------------ replay
+
+    def to_problem(self, strict: bool = True, memoize: bool = True) -> TuningProblem:
+        """A :class:`TuningProblem` that answers evaluations from this cache.
+
+        Parameters
+        ----------
+        strict:
+            If True (default), configurations missing from the cache raise
+            :class:`CacheMissError` (and therefore appear as invalid observations).
+            If False, missing configurations are treated as invalid silently.
+        """
+        def _evaluate(config: Mapping[str, Any]) -> float:
+            obs = self.get(config)
+            if obs is None:
+                if strict:
+                    raise CacheMissError(
+                        f"configuration not present in {self.benchmark}/{self.gpu} cache")
+                return math.inf
+            if obs.is_failure:
+                return math.inf
+            return obs.value
+
+        return TuningProblem(name=self.benchmark, space=self.space, evaluate_fn=_evaluate,
+                             gpu=self.gpu, memoize=memoize)
+
+    # ------------------------------------------------------------------ serialization
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form including the search-space description."""
+        return {
+            "benchmark": self.benchmark,
+            "gpu": self.gpu,
+            "exhaustive": self.exhaustive,
+            "metadata": dict(self.metadata),
+            "space": self.space.to_dict(),
+            "observations": [o.to_dict() for o in self._entries.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any],
+                  space: SearchSpace | None = None) -> "EvaluationCache":
+        """Inverse of :meth:`to_dict`.
+
+        ``space`` may be supplied to reuse an existing space object (e.g. one that
+        carries callable constraints which do not survive JSON round-trips).
+        """
+        if space is None:
+            space = SearchSpace.from_dict(data["space"])
+        cache = cls(benchmark=data["benchmark"], gpu=data["gpu"], space=space,
+                    exhaustive=bool(data.get("exhaustive", False)))
+        cache.metadata.update(data.get("metadata", {}))
+        for od in data.get("observations", ()):
+            cache.add_observation(Observation.from_dict(od))
+        return cache
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"EvaluationCache(benchmark={self.benchmark!r}, gpu={self.gpu!r}, "
+                f"entries={len(self)}, exhaustive={self.exhaustive})")

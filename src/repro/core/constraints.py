@@ -1,0 +1,199 @@
+"""Search-space constraints.
+
+Real tunable GPU kernels cannot run every point of the Cartesian product of their
+parameters: thread-block shapes are capped at 1024 threads, shared-memory tiles must
+fit in the SM's shared memory, vector widths must divide tile widths, and so on.  The
+paper distinguishes between
+
+* the raw *Cardinality* of a search space (product of parameter counts),
+* the *Constrained* size (configurations that satisfy the kernel's static constraints),
+* and the *Valid* size (configurations that additionally compile/launch on a specific
+  GPU) -- see Table VIII.
+
+This module implements the static constraints.  A :class:`Constraint` is either a
+Python expression string evaluated against the configuration (the style used by
+Kernel Tuner / BAT ``restrictions`` lists, e.g. ``"MWG % (MDIMC * VWM) == 0"``) or an
+arbitrary callable.  Expression strings are the preferred form because they serialize
+into cache files and render nicely in reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.errors import ConstraintViolationError, InvalidConfigurationError
+
+__all__ = ["Constraint", "ConstraintSet"]
+
+# Builtins whitelisted inside constraint expressions.  ``min``/``max``/``abs`` show up
+# in real restriction lists; nothing else is needed and nothing else is allowed.
+_SAFE_BUILTINS: dict[str, Any] = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "len": len,
+    "int": int,
+    "float": float,
+    "bool": bool,
+    "round": round,
+    "sum": sum,
+    "any": any,
+    "all": all,
+}
+
+
+class Constraint:
+    """A single validity predicate over configurations.
+
+    Parameters
+    ----------
+    expression:
+        Either a Python expression string referring to parameter names
+        (e.g. ``"block_size_x * block_size_y <= 1024"``) or a callable taking the
+        configuration mapping and returning a truthy/falsy value.
+    description:
+        Optional human-readable explanation (used in reports and error messages).
+
+    Notes
+    -----
+    Expression strings are compiled once at construction time and evaluated with a
+    restricted namespace: only the configuration values and a small whitelist of
+    builtins (``min``, ``max``, ``abs``, ...) are visible.
+    """
+
+    def __init__(self, expression: str | Callable[[Mapping[str, Any]], bool],
+                 description: str = ""):
+        self.description = description
+        if callable(expression):
+            self._func: Callable[[Mapping[str, Any]], bool] = expression
+            self.expression = getattr(expression, "__name__", "<callable>")
+            self._compiled = None
+        elif isinstance(expression, str):
+            if not expression.strip():
+                raise InvalidConfigurationError("constraint expression must be non-empty")
+            self.expression = expression
+            self._compiled = compile(expression, "<constraint>", "eval")
+            self._func = self._eval_expression
+        else:
+            raise InvalidConfigurationError(
+                f"constraint must be a string or callable, got {type(expression)!r}")
+
+    # ------------------------------------------------------------------ evaluation
+
+    def _eval_expression(self, config: Mapping[str, Any]) -> bool:
+        namespace = dict(config)
+        return bool(eval(self._compiled, {"__builtins__": _SAFE_BUILTINS}, namespace))
+
+    def is_satisfied(self, config: Mapping[str, Any]) -> bool:
+        """True if the configuration satisfies this constraint.
+
+        A constraint that raises (e.g. division by zero for a degenerate parameter
+        combination) is treated as *violated*, mirroring a kernel that fails to
+        compile.
+        """
+        try:
+            return bool(self._func(config))
+        except (KeyError, NameError) as exc:
+            raise InvalidConfigurationError(
+                f"constraint {self.expression!r} references missing parameter {exc}"
+            ) from None
+        except InvalidConfigurationError:
+            raise
+        except Exception:
+            return False
+
+    __call__ = is_satisfied
+
+    # ------------------------------------------------------------------ serialization
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (callables serialize by name only)."""
+        return {"expression": self.expression, "description": self.description}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Constraint":
+        """Reconstruct a string-expression constraint from :meth:`to_dict` output."""
+        return cls(data["expression"], description=data.get("description", ""))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Constraint({self.expression!r})"
+
+
+class ConstraintSet:
+    """An ordered collection of constraints evaluated together.
+
+    Provides conjunction semantics: a configuration is valid iff *every* member
+    constraint is satisfied.  The class exists (rather than using a bare list) so that
+    violation reporting, serialization and the "which constraints prune the most"
+    diagnostics live in one place.
+    """
+
+    def __init__(self, constraints: Iterable[Constraint | str | Callable] = ()):
+        self._constraints: list[Constraint] = []
+        for c in constraints:
+            self.add(c)
+
+    # ------------------------------------------------------------------- mutation
+
+    def add(self, constraint: Constraint | str | Callable) -> "ConstraintSet":
+        """Append a constraint (strings/callables are wrapped automatically)."""
+        if not isinstance(constraint, Constraint):
+            constraint = Constraint(constraint)
+        self._constraints.append(constraint)
+        return self
+
+    # -------------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __getitem__(self, idx: int) -> Constraint:
+        return self._constraints[idx]
+
+    def is_satisfied(self, config: Mapping[str, Any]) -> bool:
+        """True iff every constraint holds for ``config``."""
+        return all(c.is_satisfied(config) for c in self._constraints)
+
+    __call__ = is_satisfied
+
+    def violated(self, config: Mapping[str, Any]) -> tuple[str, ...]:
+        """Expressions of all constraints violated by ``config`` (empty if valid)."""
+        return tuple(c.expression for c in self._constraints if not c.is_satisfied(config))
+
+    def check(self, config: Mapping[str, Any]) -> None:
+        """Raise :class:`ConstraintViolationError` if any constraint is violated."""
+        bad = self.violated(config)
+        if bad:
+            raise ConstraintViolationError(
+                f"configuration violates {len(bad)} constraint(s): {', '.join(bad)}",
+                violated=bad)
+
+    def pruning_report(self, configs: Sequence[Mapping[str, Any]]) -> dict[str, int]:
+        """For each constraint, count how many of ``configs`` it rejects.
+
+        Useful when reconstructing the paper's "Constrained" column: it shows which
+        constraint is responsible for most of the pruning.
+        """
+        counts: dict[str, int] = {c.expression: 0 for c in self._constraints}
+        for config in configs:
+            for c in self._constraints:
+                if not c.is_satisfied(config):
+                    counts[c.expression] += 1
+        return counts
+
+    # ------------------------------------------------------------------ serialization
+
+    def to_list(self) -> list[dict[str, Any]]:
+        """JSON-serializable list of constraint dicts."""
+        return [c.to_dict() for c in self._constraints]
+
+    @classmethod
+    def from_list(cls, data: Iterable[Mapping[str, Any]]) -> "ConstraintSet":
+        """Inverse of :meth:`to_list`."""
+        return cls(Constraint.from_dict(d) for d in data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstraintSet({[c.expression for c in self._constraints]})"

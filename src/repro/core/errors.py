@@ -1,0 +1,68 @@
+"""Exception hierarchy for the benchmarking suite.
+
+All exceptions raised by the library derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries.  The hierarchy distinguishes the three
+failure modes a kernel tuner actually encounters in the wild:
+
+* a configuration that is *malformed* (unknown parameter, value outside the allowed
+  list) -- :class:`InvalidConfigurationError`;
+* a configuration that is well-formed but *cannot be compiled or launched* on the
+  target device (violates a constraint or exceeds a hardware resource limit) --
+  :class:`ConstraintViolationError` and :class:`ResourceLimitError`;
+* a failure of the tuning machinery itself (budget exhausted, empty search space,
+  missing cache entry) -- the remaining classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidConfigurationError(ReproError):
+    """A configuration references unknown parameters or disallowed values."""
+
+
+class ConstraintViolationError(ReproError):
+    """A configuration violates one of the search-space constraints.
+
+    The offending constraint expressions are available in :attr:`violated`.
+    """
+
+    def __init__(self, message: str, violated: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.violated = tuple(violated)
+
+
+class ResourceLimitError(ReproError):
+    """A configuration exceeds a hardware resource limit on the target GPU.
+
+    Mirrors a CUDA launch failure (too many threads per block, too much shared memory
+    or register pressure).  The simulated runner converts this into an invalid
+    :class:`~repro.core.result.Observation` rather than aborting the tuning run, just
+    like real tuners do.
+    """
+
+    def __init__(self, message: str, resource: str = "", requested: float = 0.0,
+                 limit: float = 0.0):
+        super().__init__(message)
+        self.resource = resource
+        self.requested = requested
+        self.limit = limit
+
+
+class BudgetExhaustedError(ReproError):
+    """Raised when a tuner requests more evaluations than the budget allows."""
+
+
+class EmptySearchSpaceError(ReproError):
+    """Raised when a search space contains no valid configurations."""
+
+
+class CacheMissError(ReproError):
+    """Raised when a cache lookup for a configuration fails in strict mode."""
+
+
+class SerializationError(ReproError):
+    """Raised when a cache or result file cannot be read or written."""

@@ -1,0 +1,174 @@
+"""The shared tuning-problem interface.
+
+A :class:`TuningProblem` is what a tuner sees: a search space plus an objective
+function over configurations.  It deliberately knows nothing about how the objective is
+produced -- in this reproduction the objective comes from the analytical GPU
+performance models in :mod:`repro.kernels`, but the same interface would accept real
+hardware measurements (the paper's setting) or a cache replay.
+
+This is the reproduction of the paper's "standardized problem interface ... general
+configuration space and kernel handler classes providing for easy integration" (Sec. I):
+any optimizer that can consume a :class:`TuningProblem` can tune every benchmark in the
+suite, and any benchmark that can produce one can be tuned by every optimizer.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Callable, Mapping
+
+from repro.core.errors import ResourceLimitError
+from repro.core.result import Observation
+from repro.core.searchspace import SearchSpace, config_key
+
+__all__ = ["ObjectiveDirection", "TuningProblem"]
+
+
+class ObjectiveDirection(enum.Enum):
+    """Whether the tuner should minimize or maximize the objective.
+
+    Every BAT benchmark minimizes kernel time, but the enum keeps the interface
+    general (e.g. for throughput objectives like GFLOP/s).
+    """
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+    def better(self, a: float, b: float) -> bool:
+        """True if objective value ``a`` is strictly better than ``b``."""
+        if self is ObjectiveDirection.MINIMIZE:
+            return a < b
+        return a > b
+
+    @property
+    def worst_value(self) -> float:
+        """The sentinel value assigned to failed evaluations."""
+        return math.inf if self is ObjectiveDirection.MINIMIZE else -math.inf
+
+
+class TuningProblem:
+    """A tunable kernel instance on a specific (simulated) device.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name (e.g. ``"gemm"``).
+    space:
+        The constrained search space.
+    evaluate_fn:
+        Callable mapping a configuration to an objective value (kernel time in
+        milliseconds).  It may raise :class:`ResourceLimitError` (or any
+        ``repro`` exception) for configurations that cannot run on the device; the
+        problem converts those into invalid observations rather than propagating,
+        which is how real autotuners treat failed compilations.
+    gpu:
+        Device name used for bookkeeping.
+    direction:
+        Minimize (default, kernel time) or maximize.
+    objective_unit:
+        Unit string for reports (default ``"ms"``).
+    memoize:
+        If True (default), repeated evaluations of the same configuration return the
+        cached observation without consuming another call to ``evaluate_fn``.  This
+        mirrors real tuner caches and makes exhaustive analyses cheap.
+    """
+
+    def __init__(self, name: str, space: SearchSpace,
+                 evaluate_fn: Callable[[Mapping[str, Any]], float],
+                 gpu: str = "", direction: ObjectiveDirection = ObjectiveDirection.MINIMIZE,
+                 objective_unit: str = "ms", memoize: bool = True):
+        self.name = name
+        self.space = space
+        self.gpu = gpu
+        self.direction = direction
+        self.objective_unit = objective_unit
+        self.memoize = memoize
+        self._evaluate_fn = evaluate_fn
+        self._cache: dict[tuple, Observation] = {}
+        self._evaluation_count = 0
+
+    # ---------------------------------------------------------------------- queries
+
+    @property
+    def evaluation_count(self) -> int:
+        """Number of *distinct* objective-function calls performed so far."""
+        return self._evaluation_count
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized configurations."""
+        return len(self._cache)
+
+    def is_valid(self, config: Mapping[str, Any]) -> bool:
+        """Static validity (membership + constraints); does not call the objective."""
+        return self.space.is_valid(config)
+
+    # ------------------------------------------------------------------- evaluation
+
+    def evaluate(self, config: Mapping[str, Any]) -> Observation:
+        """Measure one configuration and return the observation.
+
+        Invalid configurations (constraint violations, device resource limits, or an
+        objective function that raises/returns a non-finite value) yield an
+        observation with ``valid=False`` and ``value=inf`` -- they still count as an
+        evaluation, exactly as a failed compilation costs time on real hardware.
+        """
+        key = config_key(config)
+        if self.memoize and key in self._cache:
+            cached = self._cache[key]
+            return Observation(config=dict(config), value=cached.value, valid=cached.valid,
+                               error=cached.error, evaluation_index=cached.evaluation_index,
+                               gpu=self.gpu, benchmark=self.name)
+
+        index = self._evaluation_count
+        value: float
+        valid = True
+        error = ""
+        if not self.space.is_valid(config):
+            valid = False
+            value = self.direction.worst_value
+            error = "constraint violation: " + ", ".join(
+                self.space.constraints.violated(config)) if len(self.space.constraints) else \
+                "configuration not a member of the search space"
+        else:
+            try:
+                value = float(self._evaluate_fn(config))
+                if not math.isfinite(value) or value <= 0:
+                    valid = False
+                    error = f"objective returned non-positive/non-finite value {value!r}"
+                    value = self.direction.worst_value
+            except ResourceLimitError as exc:
+                valid = False
+                value = self.direction.worst_value
+                error = f"resource limit exceeded: {exc}"
+            except Exception as exc:  # objective failures behave like failed launches
+                valid = False
+                value = self.direction.worst_value
+                error = f"evaluation failed: {exc}"
+
+        self._evaluation_count += 1
+        obs = Observation(config=dict(config), value=value, valid=valid, error=error,
+                          evaluation_index=index, gpu=self.gpu, benchmark=self.name)
+        if self.memoize:
+            self._cache[key] = obs
+        return obs
+
+    def evaluate_many(self, configs: list[Mapping[str, Any]]) -> list[Observation]:
+        """Evaluate a batch of configurations in order."""
+        return [self.evaluate(c) for c in configs]
+
+    def objective(self, config: Mapping[str, Any]) -> float:
+        """Scalar objective of a configuration (``inf`` for invalid ones)."""
+        return self.evaluate(config).value
+
+    def reset_cache(self) -> None:
+        """Drop memoized observations and reset the evaluation counter."""
+        self._cache.clear()
+        self._evaluation_count = 0
+
+    # ------------------------------------------------------------------------- repr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TuningProblem(name={self.name!r}, gpu={self.gpu!r}, "
+                f"dimensions={self.space.dimensions}, cardinality={self.space.cardinality})")

@@ -1,0 +1,77 @@
+"""Registries of benchmarks, GPUs and tuners.
+
+The paper's suite is valuable because it is *enumerable*: a researcher can ask "give me
+all benchmarks" and "give me all devices" and sweep the cross product.  These helpers
+provide exactly that, with lazy imports so that ``import repro`` stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "benchmark_suite",
+    "gpu_catalog",
+    "tuner_catalog",
+    "get_benchmark",
+    "get_gpu",
+    "get_tuner",
+]
+
+
+def benchmark_suite() -> dict[str, Any]:
+    """All seven BAT 2.0 kernel benchmarks, keyed by canonical lowercase name.
+
+    Returns fresh :class:`repro.kernels.base.KernelBenchmark` instances.
+    """
+    from repro.kernels import all_benchmarks
+
+    return all_benchmarks()
+
+
+def gpu_catalog() -> dict[str, Any]:
+    """The four simulated GPUs used in the paper, keyed by name (e.g. ``"RTX_3090"``)."""
+    from repro.gpus import all_gpus
+
+    return all_gpus()
+
+
+def tuner_catalog() -> dict[str, Callable[..., Any]]:
+    """Factories for every optimizer shipped with the suite, keyed by name.
+
+    Each value is a callable accepting ``seed=`` plus tuner-specific keyword options
+    and returning a fresh tuner instance.
+    """
+    from repro.tuners import all_tuners
+
+    return all_tuners()
+
+
+def get_benchmark(name: str) -> Any:
+    """Look up one benchmark by (case-insensitive) name."""
+    suite = benchmark_suite()
+    key = name.lower()
+    if key not in suite:
+        raise ReproError(f"unknown benchmark {name!r}; available: {sorted(suite)}")
+    return suite[key]
+
+
+def get_gpu(name: str) -> Any:
+    """Look up one GPU spec by name (case-insensitive, ``-``/space tolerant)."""
+    catalog = gpu_catalog()
+    normalized = name.replace("-", "_").replace(" ", "_").upper()
+    for key, value in catalog.items():
+        if key.upper() == normalized:
+            return value
+    raise ReproError(f"unknown GPU {name!r}; available: {sorted(catalog)}")
+
+
+def get_tuner(name: str, **kwargs: Any) -> Any:
+    """Instantiate one tuner by name, forwarding keyword options to its factory."""
+    catalog = tuner_catalog()
+    key = name.lower().replace("-", "_")
+    if key not in catalog:
+        raise ReproError(f"unknown tuner {name!r}; available: {sorted(catalog)}")
+    return catalog[key](**kwargs)

@@ -1,0 +1,32 @@
+"""Simulated GPU substrate.
+
+The paper measures kernels on four physical NVIDIA GPUs.  This subpackage replaces the
+hardware with an analytical substrate:
+
+* :mod:`repro.gpus.specs` -- datasheet-level architecture specifications of the four
+  devices (RTX 2080 Ti, RTX Titan, RTX 3060, RTX 3090);
+* :mod:`repro.gpus.occupancy` -- a CUDA occupancy calculator (warps, registers, shared
+  memory, block limits);
+* :mod:`repro.gpus.memory` -- a memory-hierarchy traffic/efficiency model;
+* :mod:`repro.gpus.noise` -- deterministic, seeded measurement noise;
+* :mod:`repro.gpus.perfmodel` -- the base analytical kernel performance model the
+  per-kernel models in :mod:`repro.kernels` build on.
+"""
+
+from repro.gpus.specs import GPUSpec, all_gpus, RTX_2080_TI, RTX_3060, RTX_3090, RTX_TITAN
+from repro.gpus.occupancy import OccupancyResult, compute_occupancy
+from repro.gpus.perfmodel import KernelLaunchConfig, ModelEstimate, AnalyticalKernelModel
+
+__all__ = [
+    "GPUSpec",
+    "all_gpus",
+    "RTX_2080_TI",
+    "RTX_3060",
+    "RTX_3090",
+    "RTX_TITAN",
+    "OccupancyResult",
+    "compute_occupancy",
+    "KernelLaunchConfig",
+    "ModelEstimate",
+    "AnalyticalKernelModel",
+]

@@ -1,0 +1,76 @@
+"""Deterministic measurement noise.
+
+Real kernel timings jitter run to run (clock boost behaviour, DRAM refresh, other
+tenants of the machine).  The suite reproduces that with a *deterministic* noise model:
+the multiplicative perturbation applied to a configuration's modelled runtime is a pure
+function of (device, benchmark, configuration, repetition), derived from a stable hash.
+Determinism matters because the analyses compare caches across architectures and
+because tests must be reproducible bit-for-bit.
+
+Two kinds of noise are provided:
+
+* *configuration noise* (default ~1.5% lognormal): persistent, per-configuration model
+  error -- the analytical model never captures every microarchitectural effect, and
+  this keeps the performance landscape realistically rugged (important for the
+  fitness-flow-graph / centrality analysis, which counts local minima);
+* *measurement jitter* (default ~0.3% lognormal): per-repetition timing noise, applied
+  when a caller asks for repeated observations of the same configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from typing import Any, Mapping
+
+__all__ = ["stable_hash", "lognormal_factor", "config_noise", "measurement_jitter"]
+
+
+def stable_hash(*parts: Any) -> int:
+    """A 64-bit hash of the given parts that is stable across processes and runs.
+
+    Python's built-in ``hash`` is salted per process, so it cannot be used for
+    reproducible noise.  Configurations are rendered as sorted ``key=value`` strings.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        if isinstance(part, Mapping):
+            rendered = ",".join(f"{k}={part[k]}" for k in sorted(part))
+        else:
+            rendered = repr(part)
+        h.update(rendered.encode("utf-8"))
+        h.update(b"\x1f")
+    return struct.unpack("<Q", h.digest())[0]
+
+
+def _uniform_from_hash(value: int) -> float:
+    """Map a 64-bit hash to a uniform float in (0, 1)."""
+    return (value % (2**53)) / float(2**53) or 0.5 / float(2**53)
+
+
+def lognormal_factor(seed_hash: int, sigma: float) -> float:
+    """A deterministic lognormal(0, sigma) multiplicative factor from a hash.
+
+    Uses the Box-Muller transform on two uniforms derived from the hash, so the
+    factor's distribution matches ``exp(N(0, sigma))`` over the space of inputs.
+    """
+    if sigma <= 0:
+        return 1.0
+    u1 = _uniform_from_hash(seed_hash)
+    u2 = _uniform_from_hash(stable_hash(seed_hash, "second"))
+    z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+    return math.exp(sigma * z)
+
+
+def config_noise(gpu_name: str, benchmark: str, config: Mapping[str, Any],
+                 sigma: float = 0.015) -> float:
+    """Persistent multiplicative model-error factor for one configuration."""
+    return lognormal_factor(stable_hash("config", gpu_name, benchmark, config), sigma)
+
+
+def measurement_jitter(gpu_name: str, benchmark: str, config: Mapping[str, Any],
+                       repetition: int, sigma: float = 0.003) -> float:
+    """Per-repetition multiplicative timing jitter."""
+    return lognormal_factor(
+        stable_hash("jitter", gpu_name, benchmark, config, repetition), sigma)

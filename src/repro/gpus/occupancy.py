@@ -1,0 +1,133 @@
+"""CUDA occupancy calculator.
+
+Occupancy -- the ratio of resident warps to the maximum the SM supports -- is the single
+most important latency-hiding metric on NVIDIA GPUs, and most of the interesting
+interactions between tuning parameters (block size x unroll factor x shared-memory
+usage) act through it: larger tiles and deeper unrolling raise per-thread register and
+shared-memory demands, which lowers the number of blocks the SM can keep resident,
+which in turn reduces the hardware's ability to hide memory latency.
+
+The calculation follows the standard CUDA occupancy rules: the number of resident
+blocks per SM is the minimum of four limits (block-count limit, warp limit, register
+limit, shared-memory limit), and occupancy is then resident warps over maximum warps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ResourceLimitError
+from repro.gpus.specs import GPUSpec
+
+__all__ = ["OccupancyResult", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of an occupancy calculation for one launch configuration.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Resident thread blocks per SM (0 when the block cannot launch at all).
+    active_warps:
+        Resident warps per SM.
+    occupancy:
+        ``active_warps / max_warps_per_sm`` in ``[0, 1]``.
+    limiting_factor:
+        Which resource bound the block count (``"blocks"``, ``"warps"``,
+        ``"registers"``, ``"shared_memory"`` or ``"launch_bounds"``).
+    warps_per_block:
+        Warps needed by one block (ceil of threads / warp size).
+    """
+
+    blocks_per_sm: int
+    active_warps: int
+    occupancy: float
+    limiting_factor: str
+    warps_per_block: int
+
+
+def compute_occupancy(gpu: GPUSpec, threads_per_block: int, registers_per_thread: float,
+                      shared_mem_per_block_bytes: float,
+                      max_blocks_per_sm_hint: int = 0) -> OccupancyResult:
+    """Compute the occupancy of a launch configuration on ``gpu``.
+
+    Parameters
+    ----------
+    gpu:
+        Target device specification.
+    threads_per_block:
+        Total threads in one block (product of the block dimensions).
+    registers_per_thread:
+        Estimated register usage per thread (the per-kernel models estimate this from
+        unroll/tile factors).
+    shared_mem_per_block_bytes:
+        Static + dynamic shared memory requested per block.
+    max_blocks_per_sm_hint:
+        The ``__launch_bounds__`` / ``blocks_per_sm`` tuning parameter.  Note that the
+        hint asks the compiler to *target* this many resident blocks (by limiting
+        register usage); it does not limit how many blocks the hardware may keep
+        resident, so it does not appear as a scheduling cap here -- its register
+        effect is handled by the caller.  Zero means "no hint".
+
+    Raises
+    ------
+    ResourceLimitError
+        If the block can never launch on this device: too many threads per block,
+        more shared memory than the per-block limit, or more registers per thread
+        than the hardware cap.
+    """
+    if threads_per_block <= 0:
+        raise ResourceLimitError("thread block must contain at least one thread",
+                                 resource="threads", requested=threads_per_block, limit=1)
+    if threads_per_block > gpu.max_threads_per_block:
+        raise ResourceLimitError(
+            f"{threads_per_block} threads per block exceeds the device limit "
+            f"of {gpu.max_threads_per_block}",
+            resource="threads_per_block", requested=threads_per_block,
+            limit=gpu.max_threads_per_block)
+    if shared_mem_per_block_bytes > gpu.shared_mem_per_block_kb * 1024:
+        raise ResourceLimitError(
+            f"{shared_mem_per_block_bytes / 1024:.1f} KiB shared memory per block exceeds "
+            f"the device limit of {gpu.shared_mem_per_block_kb} KiB",
+            resource="shared_memory", requested=shared_mem_per_block_bytes,
+            limit=gpu.shared_mem_per_block_kb * 1024)
+    registers_per_thread = max(registers_per_thread, 1.0)
+    if registers_per_thread > gpu.max_registers_per_thread:
+        # Real compilers spill to local memory instead of failing; the per-kernel
+        # models apply a spill penalty.  Here we clamp so occupancy stays defined.
+        registers_per_thread = float(gpu.max_registers_per_thread)
+
+    warps_per_block = math.ceil(threads_per_block / gpu.warp_size)
+
+    # The four CUDA limits on resident blocks per SM.
+    limit_blocks = gpu.max_blocks_per_sm
+    limit_warps = gpu.max_warps_per_sm // warps_per_block
+    regs_per_block = registers_per_thread * warps_per_block * gpu.warp_size
+    limit_registers = int(gpu.registers_per_sm // regs_per_block) if regs_per_block > 0 else limit_blocks
+    if shared_mem_per_block_bytes > 0:
+        limit_shared = int((gpu.shared_mem_per_sm_kb * 1024) // shared_mem_per_block_bytes)
+    else:
+        limit_shared = limit_blocks
+
+    limits = {
+        "blocks": limit_blocks,
+        "warps": limit_warps,
+        "registers": limit_registers,
+        "shared_memory": limit_shared,
+    }
+
+    limiting_factor = min(limits, key=lambda k: limits[k])
+    blocks_per_sm = max(limits[limiting_factor], 0)
+    active_warps = blocks_per_sm * warps_per_block
+    occupancy = min(active_warps / gpu.max_warps_per_sm, 1.0)
+
+    return OccupancyResult(
+        blocks_per_sm=int(blocks_per_sm),
+        active_warps=int(active_warps),
+        occupancy=float(occupancy),
+        limiting_factor=limiting_factor,
+        warps_per_block=int(warps_per_block),
+    )

@@ -1,0 +1,327 @@
+"""Base analytical kernel performance model.
+
+Every BAT benchmark in :mod:`repro.kernels` provides a subclass of
+:class:`AnalyticalKernelModel` that describes, for a given configuration:
+
+* the *launch shape* (threads per block, number of blocks, per-thread registers,
+  per-block shared memory) -- consumed by the occupancy calculator;
+* the *work* (floating-point operations) and the *DRAM traffic* (bytes, with access
+  efficiency) -- consumed by a roofline-style combiner;
+* kernel-specific *efficiency factors* (divergence, instruction mix, software caching).
+
+The combiner in :meth:`AnalyticalKernelModel.compose` turns those ingredients into a
+simulated runtime.  It is deliberately a *latency-aware roofline*: at full occupancy
+compute and memory phases overlap (time = max of the two), while at low occupancy the
+hardware cannot hide latency and the phases serialise (time tends to their sum).  Two
+additional first-order GPU effects are modelled because several tuning parameters act
+through them: the *tail effect* (the last wave of blocks underutilises the SMs when the
+grid is small) and *register spilling* (configurations whose estimated register demand
+exceeds the hardware cap pay a local-memory penalty).
+
+The absolute times produced are approximations -- the reproduction does not claim
+nanosecond fidelity -- but the *relative* structure (which parameters matter, how they
+interact, how optima move between architectures) follows from the same mechanisms that
+drive real hardware, which is what the paper's analyses measure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.errors import ResourceLimitError
+from repro.gpus.memory import MemoryTraffic, dram_time_ms
+from repro.gpus.noise import config_noise
+from repro.gpus.occupancy import OccupancyResult, compute_occupancy
+from repro.gpus.specs import GPUSpec
+
+__all__ = [
+    "KernelLaunchConfig",
+    "ModelEstimate",
+    "AnalyticalKernelModel",
+    "occupancy_throughput_factor",
+    "ilp_factor",
+    "tail_effect_factor",
+]
+
+
+@dataclass(frozen=True)
+class KernelLaunchConfig:
+    """Launch shape of one kernel invocation.
+
+    Attributes
+    ----------
+    threads_per_block:
+        Total threads per block (product of the block dimensions).
+    grid_blocks:
+        Total number of thread blocks launched.
+    registers_per_thread:
+        Estimated register demand per thread.
+    shared_mem_bytes:
+        Shared memory requested per block, in bytes.
+    blocks_per_sm_hint:
+        Value of a ``__launch_bounds__``-style tuning parameter (0 = no hint).
+    launches:
+        Number of back-to-back kernel launches needed for the whole problem (e.g.
+        Hotspot performs ``total_iterations / temporal_tiling_factor`` launches).
+    """
+
+    threads_per_block: int
+    grid_blocks: int
+    registers_per_thread: float
+    shared_mem_bytes: float
+    blocks_per_sm_hint: int = 0
+    launches: int = 1
+
+
+@dataclass
+class ModelEstimate:
+    """Full breakdown of one simulated measurement.
+
+    The analysis layer only needs :attr:`time_ms`, but the breakdown is kept for the
+    ablation benchmarks and for debugging model calibration.
+    """
+
+    time_ms: float
+    compute_time_ms: float
+    memory_time_ms: float
+    occupancy: OccupancyResult
+    launch: KernelLaunchConfig
+    factors: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable breakdown."""
+        return {
+            "time_ms": self.time_ms,
+            "compute_time_ms": self.compute_time_ms,
+            "memory_time_ms": self.memory_time_ms,
+            "occupancy": self.occupancy.occupancy,
+            "limiting_factor": self.occupancy.limiting_factor,
+            "threads_per_block": self.launch.threads_per_block,
+            "grid_blocks": self.launch.grid_blocks,
+            "factors": dict(self.factors),
+        }
+
+
+# ----------------------------------------------------------------------- helper curves
+
+
+def occupancy_throughput_factor(occupancy: float, saturation: float) -> float:
+    """Fraction of peak throughput sustained at a given occupancy.
+
+    GPUs reach full throughput well below 100% occupancy; ``saturation`` is the
+    occupancy at which the curve flattens (lower for compute-bound kernels with high
+    ILP, higher for latency/memory-bound kernels).  Below saturation the curve is a
+    smooth concave ramp rather than a straight line, matching measured behaviour.
+    """
+    saturation = min(max(saturation, 1e-3), 1.0)
+    x = min(max(occupancy, 0.0), 1.0) / saturation
+    if x >= 1.0:
+        return 1.0
+    # Smooth ramp: sqrt-shaped so the first warps contribute the most.
+    return max(math.sqrt(x) * (0.55 + 0.45 * x), 0.02)
+
+
+def ilp_factor(unroll: int, best_unroll: int, falloff: float = 0.03) -> float:
+    """Instruction-level-parallelism benefit of partial loop unrolling.
+
+    Benefit grows logarithmically up to ``best_unroll`` and then degrades gently
+    (instruction-cache pressure, scheduler pressure).  ``unroll=0`` means "compiler
+    decides" and is treated as a modest default benefit.
+    """
+    if unroll <= 0:
+        return 0.92
+    best_unroll = max(best_unroll, 1)
+    if unroll <= best_unroll:
+        span = math.log2(best_unroll) if best_unroll > 1 else 1.0
+        return 0.80 + 0.20 * (math.log2(unroll) / span if span else 1.0)
+    over = math.log2(unroll / best_unroll)
+    return max(1.0 - falloff * over, 0.75)
+
+
+def tail_effect_factor(gpu: GPUSpec, grid_blocks: int, blocks_per_sm: int) -> float:
+    """SM utilisation of the block schedule in ``(0, 1]``.
+
+    When the grid has fewer blocks than the device can keep resident -- or the last
+    wave is only partially full -- part of the machine idles.  The factor is the
+    fraction of resident-block slots doing useful work averaged over waves.
+    """
+    if grid_blocks <= 0:
+        return 1e-3
+    blocks_per_sm = max(blocks_per_sm, 1)
+    concurrent = gpu.sm_count * blocks_per_sm
+    waves = math.ceil(grid_blocks / concurrent)
+    return min(grid_blocks / (waves * concurrent), 1.0)
+
+
+# -------------------------------------------------------------------------- base model
+
+
+class AnalyticalKernelModel:
+    """Base class of the per-kernel analytical models.
+
+    Subclasses implement :meth:`launch_config`, :meth:`flops`, :meth:`traffic`,
+    :meth:`compute_efficiency` and optionally :meth:`extra_time_ms`, and inherit the
+    roofline combiner plus the noise model.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name, used for noise seeding and reports.
+    occupancy_saturation:
+        Occupancy at which the kernel reaches full throughput (kernel-specific
+        calibration; compute-dense kernels saturate earlier).
+    noise_sigma:
+        Standard deviation of the persistent per-configuration lognormal model error.
+    """
+
+    def __init__(self, name: str, occupancy_saturation: float = 0.45,
+                 noise_sigma: float = 0.015):
+        self.name = name
+        self.occupancy_saturation = occupancy_saturation
+        self.noise_sigma = noise_sigma
+
+    # ----------------------------------------------------- subclass responsibilities
+
+    def launch_config(self, config: Mapping[str, Any], gpu: GPUSpec) -> KernelLaunchConfig:
+        """Launch shape for ``config`` on ``gpu``."""
+        raise NotImplementedError
+
+    def flops(self, config: Mapping[str, Any], gpu: GPUSpec) -> float:
+        """Total floating-point operations of the whole problem for ``config``."""
+        raise NotImplementedError
+
+    def traffic(self, config: Mapping[str, Any], gpu: GPUSpec) -> MemoryTraffic:
+        """DRAM traffic (bytes + access efficiency) of the whole problem."""
+        raise NotImplementedError
+
+    def compute_efficiency(self, config: Mapping[str, Any], gpu: GPUSpec,
+                           occupancy: OccupancyResult) -> float:
+        """Fraction of peak FLOP/s the instruction stream can sustain at full occupancy."""
+        return 1.0
+
+    def extra_time_ms(self, config: Mapping[str, Any], gpu: GPUSpec,
+                      launch: KernelLaunchConfig) -> float:
+        """Additional fixed time (host-side work, extra launches); default none."""
+        return 0.0
+
+    # ------------------------------------------------------------------ composition
+
+    def _effective_registers(self, gpu: GPUSpec, launch: KernelLaunchConfig) -> tuple[float, float]:
+        """Registers per thread after the compiler's launch-feasibility cap.
+
+        Real compilers never emit a kernel that cannot launch because of register
+        demand: ``nvcc`` caps the per-thread register count so that at least one block
+        fits on an SM (and honours ``__launch_bounds__``) and spills the rest to local
+        memory.  Returns ``(effective_registers, spill_fraction)`` where the spill
+        fraction is the relative amount of demand that had to be spilled.
+        """
+        demanded = max(launch.registers_per_thread, 1.0)
+        # Hardware cap per thread plus "one block must fit" cap.
+        cap = min(float(gpu.max_registers_per_thread),
+                  gpu.registers_per_sm / max(launch.threads_per_block, 1))
+        if launch.blocks_per_sm_hint and launch.blocks_per_sm_hint > 0:
+            cap = min(cap, gpu.registers_per_sm /
+                      max(launch.blocks_per_sm_hint * launch.threads_per_block, 1))
+        cap = max(cap, 16.0)  # the ABI always grants a handful of registers
+        if demanded <= cap:
+            return demanded, 0.0
+        return cap, (demanded - cap) / demanded
+
+    def occupancy(self, config: Mapping[str, Any], gpu: GPUSpec) -> OccupancyResult:
+        """Occupancy of ``config`` on ``gpu`` (raises ResourceLimitError if unlaunchable)."""
+        launch = self.launch_config(config, gpu)
+        regs, _ = self._effective_registers(gpu, launch)
+        return compute_occupancy(gpu, launch.threads_per_block, regs,
+                                 launch.shared_mem_bytes, launch.blocks_per_sm_hint)
+
+    def estimate(self, config: Mapping[str, Any], gpu: GPUSpec,
+                 with_noise: bool = True) -> ModelEstimate:
+        """Full simulated measurement of ``config`` on ``gpu``.
+
+        Raises
+        ------
+        ResourceLimitError
+            If the configuration cannot launch on the device (propagated from the
+            occupancy calculator); callers treat this as an invalid configuration.
+        """
+        launch = self.launch_config(config, gpu)
+        regs, spill_fraction = self._effective_registers(gpu, launch)
+        occ = compute_occupancy(gpu, launch.threads_per_block, regs,
+                                launch.shared_mem_bytes, launch.blocks_per_sm_hint)
+        if occ.blocks_per_sm <= 0:
+            raise ResourceLimitError(
+                f"configuration cannot keep a single block resident on {gpu.name}",
+                resource=occ.limiting_factor)
+
+        return self.compose(config, gpu, launch, occ, with_noise=with_noise,
+                            spill_fraction=spill_fraction)
+
+    def compose(self, config: Mapping[str, Any], gpu: GPUSpec, launch: KernelLaunchConfig,
+                occ: OccupancyResult, with_noise: bool = True,
+                spill_fraction: float = 0.0) -> ModelEstimate:
+        """Combine work, traffic and occupancy into a runtime estimate."""
+        flops = self.flops(config, gpu)
+        traffic = self.traffic(config, gpu)
+        compute_eff = max(min(self.compute_efficiency(config, gpu, occ), 1.0), 1e-3)
+
+        occ_factor = occupancy_throughput_factor(occ.occupancy, self.occupancy_saturation)
+        tail = tail_effect_factor(gpu, launch.grid_blocks, occ.blocks_per_sm)
+
+        # Register spilling: demand the compiler could not fit goes to local memory,
+        # costing extra instructions and extra traffic on every access.
+        spill_factor = 1.0 + 1.2 * max(spill_fraction, 0.0)
+
+        sustained_flops = gpu.peak_flops * compute_eff * occ_factor * tail
+        compute_time_ms = flops / sustained_flops * 1e3 * spill_factor
+
+        # DRAM bandwidth is a device-wide resource: even modest occupancy keeps enough
+        # loads in flight to approach peak, so the memory stream saturates at a lower
+        # occupancy than the ALUs and never degrades as steeply.
+        mem_occ_factor = max(
+            occupancy_throughput_factor(occ.occupancy, self.occupancy_saturation * 0.5),
+            0.40)
+        memory_time_ms = dram_time_ms(gpu, traffic) / max(mem_occ_factor * tail, 1e-3)
+
+        # Latency-aware overlap: full overlap at saturated occupancy, serialisation
+        # when the SM has too few warps to hide either latency.
+        hiding = min(occ.occupancy / self.occupancy_saturation, 1.0)
+        overlapped = max(compute_time_ms, memory_time_ms)
+        serialised = min(compute_time_ms, memory_time_ms)
+        kernel_time_ms = overlapped + (1.0 - hiding) * serialised
+
+        # flops()/traffic() describe the WHOLE problem (all launches together); only
+        # the per-launch overhead scales with the launch count.
+        launch_overhead_ms = gpu.kernel_launch_overhead_us * 1e-3 * max(launch.launches, 1)
+        total = (kernel_time_ms
+                 + launch_overhead_ms
+                 + self.extra_time_ms(config, gpu, launch))
+
+        factors = {
+            "occupancy_factor": occ_factor,
+            "tail_factor": tail,
+            "compute_efficiency": compute_eff,
+            "memory_efficiency": traffic.efficiency,
+            "spill_factor": spill_factor,
+            "hiding": hiding,
+        }
+
+        if with_noise:
+            noise = config_noise(gpu.name, self.name, config, sigma=self.noise_sigma)
+            total *= noise
+            factors["noise"] = noise
+
+        return ModelEstimate(
+            time_ms=float(total),
+            compute_time_ms=float(compute_time_ms),
+            memory_time_ms=float(memory_time_ms),
+            occupancy=occ,
+            launch=launch,
+            factors=factors,
+        )
+
+    def time_ms(self, config: Mapping[str, Any], gpu: GPUSpec,
+                with_noise: bool = True) -> float:
+        """Simulated runtime in milliseconds (shortcut around :meth:`estimate`)."""
+        return self.estimate(config, gpu, with_noise=with_noise).time_ms

@@ -1,0 +1,20 @@
+"""Graph substrate: fitness-flow graph, PageRank and the proportion-of-centrality metric.
+
+These implement the search-difficulty analysis of the paper's Fig. 3, following
+Schoonhoven et al.: build the directed fitness-flow graph (FFG) over the evaluated
+search space, compute PageRank centrality (the stationary arrival distribution of a
+randomised first-improvement local search), and report what share of that arrival mass
+lands on "suitably good" local minima.
+"""
+
+from repro.graph.ffg import FitnessFlowGraph, build_ffg
+from repro.graph.pagerank import pagerank
+from repro.graph.centrality import CentralityReport, proportion_of_centrality
+
+__all__ = [
+    "FitnessFlowGraph",
+    "build_ffg",
+    "pagerank",
+    "CentralityReport",
+    "proportion_of_centrality",
+]

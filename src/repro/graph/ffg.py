@@ -1,0 +1,119 @@
+"""Fitness flow graph (FFG).
+
+The FFG of Schoonhoven et al. contains every evaluated point of the search space as a
+node and a directed edge from a point to each of its neighbours that has *strictly
+lower* fitness (shorter runtime).  A random walk on this graph mimics a randomised
+first-improvement local search: from any point, the walk moves to a random improving
+neighbour until it reaches a node with no outgoing edges -- a local minimum.
+
+The graph is built from an :class:`~repro.core.cache.EvaluationCache`: nodes are the
+cache's valid configurations and the neighbourhood is Hamming distance 1 restricted to
+configurations that are themselves present in the cache (for exhaustive caches this is
+the true neighbourhood; for sampled caches it is the induced subgraph, which is how the
+metric degrades gracefully when exhaustive data is unavailable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.cache import EvaluationCache
+from repro.core.errors import ReproError
+from repro.core.searchspace import config_key
+
+__all__ = ["FitnessFlowGraph", "build_ffg"]
+
+
+@dataclass
+class FitnessFlowGraph:
+    """A fitness flow graph over an evaluated search space.
+
+    Attributes
+    ----------
+    adjacency:
+        ``(n, n)`` sparse boolean matrix; ``adjacency[i, j]`` is True when there is a
+        directed edge from node ``i`` to its strictly-better neighbour ``j``.
+    fitness:
+        Runtime of each node (lower is better).
+    configs:
+        The configuration dictionary of each node.
+    benchmark / gpu:
+        Provenance of the underlying cache.
+    """
+
+    adjacency: sparse.csr_matrix
+    fitness: np.ndarray
+    configs: list[dict[str, Any]]
+    benchmark: str = ""
+    gpu: str = ""
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes (evaluated valid configurations)."""
+        return int(self.fitness.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed improvement edges."""
+        return int(self.adjacency.nnz)
+
+    def out_degrees(self) -> np.ndarray:
+        """Number of improving neighbours of every node."""
+        return np.asarray(self.adjacency.sum(axis=1)).ravel()
+
+    def local_minima(self) -> np.ndarray:
+        """Indices of nodes with no improving neighbour (the walk's absorbing states)."""
+        return np.nonzero(self.out_degrees() == 0)[0]
+
+    def global_optimum(self) -> int:
+        """Index of the best node."""
+        return int(np.argmin(self.fitness))
+
+    def minima_within(self, proportion: float) -> np.ndarray:
+        """Local minima whose fitness is within ``(1 + proportion)`` of the optimum."""
+        if proportion < 0:
+            raise ReproError("proportion must be non-negative")
+        minima = self.local_minima()
+        threshold = (1.0 + proportion) * float(self.fitness.min())
+        return minima[self.fitness[minima] <= threshold]
+
+
+def build_ffg(cache: EvaluationCache) -> FitnessFlowGraph:
+    """Build the fitness flow graph of a campaign cache.
+
+    Complexity is ``O(n * d * v)`` where ``n`` is the number of valid configurations,
+    ``d`` the number of parameters and ``v`` the mean parameter cardinality -- every
+    potential Hamming-1 neighbour is looked up in a hash map of the cache.
+    """
+    observations = cache.valid_observations()
+    if not observations:
+        raise ReproError(f"cache {cache.benchmark}/{cache.gpu} has no valid entries")
+
+    configs = [dict(o.config) for o in observations]
+    fitness = np.array([o.value for o in observations], dtype=float)
+    index_of = {config_key(c): i for i, c in enumerate(configs)}
+    parameters = cache.space.parameters
+
+    rows: list[int] = []
+    cols: list[int] = []
+    for i, config in enumerate(configs):
+        fi = fitness[i]
+        for parameter in parameters:
+            current = config[parameter.name]
+            for other in parameter.all_other_values(current):
+                neighbor = dict(config)
+                neighbor[parameter.name] = other
+                j = index_of.get(config_key(neighbor))
+                if j is not None and fitness[j] < fi:
+                    rows.append(i)
+                    cols.append(j)
+
+    n = len(configs)
+    adjacency = sparse.csr_matrix(
+        (np.ones(len(rows), dtype=np.float64), (rows, cols)), shape=(n, n))
+    return FitnessFlowGraph(adjacency=adjacency, fitness=fitness, configs=configs,
+                            benchmark=cache.benchmark, gpu=cache.gpu)

@@ -1,0 +1,85 @@
+"""PageRank by power iteration on a sparse adjacency matrix.
+
+PageRank gives the stationary distribution of a random surfer who follows a random
+outgoing edge with probability ``damping`` and teleports uniformly otherwise; nodes
+without outgoing edges (the local minima of a fitness flow graph) redistribute their
+mass uniformly.  On the FFG this stationary mass is the "expected proportion of
+arrivals" the proportion-of-centrality metric is built on.
+
+The implementation uses the row-stochastic transition matrix and plain power iteration
+with an L1 convergence test; ``scipy.sparse`` keeps each iteration at one sparse
+matrix-vector product, so even the GEMM graph (~18k nodes, ~10^5 edges) converges in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.errors import ReproError
+
+__all__ = ["pagerank"]
+
+
+def pagerank(adjacency: sparse.spmatrix, damping: float = 0.85, tol: float = 1e-10,
+             max_iterations: int = 200,
+             personalization: np.ndarray | None = None) -> np.ndarray:
+    """PageRank vector of a directed graph given its adjacency matrix.
+
+    Parameters
+    ----------
+    adjacency:
+        ``(n, n)`` sparse matrix; entry ``(i, j)`` is the weight of the edge
+        ``i -> j``.
+    damping:
+        Probability of following an edge instead of teleporting (the classic 0.85).
+    tol:
+        L1 convergence threshold on successive iterates.
+    max_iterations:
+        Hard cap on power-iteration steps.
+    personalization:
+        Optional teleport distribution (uniform if omitted).
+
+    Returns
+    -------
+    np.ndarray
+        The PageRank scores, normalised to sum to 1.
+    """
+    if not (0.0 < damping < 1.0):
+        raise ReproError(f"damping must lie in (0, 1), got {damping}")
+    n = adjacency.shape[0]
+    if n == 0:
+        raise ReproError("cannot compute PageRank of an empty graph")
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ReproError(f"adjacency must be square, got {adjacency.shape}")
+
+    A = sparse.csr_matrix(adjacency, dtype=np.float64)
+    out_degree = np.asarray(A.sum(axis=1)).ravel()
+    dangling = out_degree == 0.0
+
+    # Row-normalise the transition matrix; dangling rows are handled separately.
+    inv_degree = np.zeros(n)
+    inv_degree[~dangling] = 1.0 / out_degree[~dangling]
+    transition = sparse.diags(inv_degree) @ A
+
+    if personalization is None:
+        teleport = np.full(n, 1.0 / n)
+    else:
+        teleport = np.asarray(personalization, dtype=float).ravel()
+        if teleport.shape[0] != n or teleport.sum() <= 0:
+            raise ReproError("personalization must be a positive vector of length n")
+        teleport = teleport / teleport.sum()
+
+    rank = np.full(n, 1.0 / n)
+    for _ in range(max_iterations):
+        dangling_mass = float(rank[dangling].sum())
+        new_rank = (damping * (transition.T @ rank)
+                    + damping * dangling_mass * teleport
+                    + (1.0 - damping) * teleport)
+        new_rank /= new_rank.sum()
+        if np.abs(new_rank - rank).sum() < tol:
+            rank = new_rank
+            break
+        rank = new_rank
+    return rank

@@ -1,0 +1,12 @@
+"""Persistence helpers: cache files and tuning-result files.
+
+The BAT project distributes its measurement campaigns as JSON cache files so that
+search-algorithm research can run without a GPU.  This subpackage mirrors that:
+campaign caches and tuning results serialize to JSON (optionally gzip-compressed), and
+load back into the same objects the analysis layer consumes.
+"""
+
+from repro.io.cachefile import save_cache, load_cache
+from repro.io.results_io import save_results, load_results
+
+__all__ = ["save_cache", "load_cache", "save_results", "load_results"]

@@ -1,0 +1,79 @@
+"""Campaign cache files.
+
+A cache file stores one :class:`~repro.core.cache.EvaluationCache` -- the measured
+runtimes of one benchmark on one GPU -- as JSON, optionally gzip-compressed (the
+``.json.gz`` suffix selects compression automatically).  The format is deliberately
+self-describing: it embeds the search-space definition, so a cache file can be analysed
+without the originating benchmark object (string-expression constraints round-trip;
+callable constraints degrade to their names).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.core.cache import EvaluationCache
+from repro.core.errors import SerializationError
+from repro.core.searchspace import SearchSpace
+
+__all__ = ["save_cache", "load_cache"]
+
+#: Format identifier written into every cache file.
+FORMAT_VERSION = 1
+
+
+def _open_for_write(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_for_read(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def save_cache(cache: EvaluationCache, path: str | Path) -> Path:
+    """Write a campaign cache to ``path`` (gzip-compressed when it ends in ``.gz``).
+
+    Returns the path written.  Parent directories are created as needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"format_version": FORMAT_VERSION, "cache": cache.to_dict()}
+    try:
+        with _open_for_write(path) as handle:
+            json.dump(payload, handle)
+    except (OSError, TypeError, ValueError) as exc:
+        raise SerializationError(f"could not write cache file {path}: {exc}") from exc
+    return path
+
+
+def load_cache(path: str | Path, space: SearchSpace | None = None) -> EvaluationCache:
+    """Read a campaign cache written by :func:`save_cache`.
+
+    Parameters
+    ----------
+    path:
+        File to read (gzip-compressed when it ends in ``.gz``).
+    space:
+        Optional live search space to attach instead of the serialized one (keeps
+        callable constraints that JSON cannot represent).
+    """
+    path = Path(path)
+    try:
+        with _open_for_read(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"could not read cache file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "cache" not in payload:
+        raise SerializationError(f"{path} is not a cache file (missing 'cache' key)")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"{path} has unsupported cache format version {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    return EvaluationCache.from_dict(payload["cache"], space=space)

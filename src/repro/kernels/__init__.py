@@ -1,0 +1,61 @@
+"""The seven BAT 2.0 tunable kernel benchmarks.
+
+Each benchmark module defines:
+
+* the tunable-parameter table exactly as printed in the paper (Tables I--VII);
+* the static constraints that make a configuration compilable;
+* an analytical performance model (subclass of
+  :class:`repro.gpus.perfmodel.AnalyticalKernelModel`) standing in for hardware
+  measurements;
+* a NumPy functional reference implementation of the computation, used to verify the
+  autotuning invariant that every configuration computes the same answer.
+
+Use :func:`all_benchmarks` to obtain the full suite keyed by canonical name, or import
+the individual ``create_benchmark`` factories.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernels.base import KernelBenchmark, Workload
+
+__all__ = ["KernelBenchmark", "Workload", "all_benchmarks", "BENCHMARK_NAMES"]
+
+#: Canonical benchmark names in the order the paper introduces them (Sec. IV).
+BENCHMARK_NAMES: tuple[str, ...] = (
+    "gemm",
+    "nbody",
+    "hotspot",
+    "pnpoly",
+    "convolution",
+    "expdist",
+    "dedispersion",
+)
+
+
+def all_benchmarks(**overrides) -> dict[str, KernelBenchmark]:
+    """Instantiate the full benchmark suite.
+
+    Keyword overrides of the form ``gemm={"matrix_size": 1024}`` are forwarded to the
+    matching benchmark factory, which lets tests and examples shrink the simulated
+    workloads without touching the search spaces.
+    """
+    from repro.kernels.gemm import create_benchmark as gemm
+    from repro.kernels.nbody import create_benchmark as nbody
+    from repro.kernels.hotspot import create_benchmark as hotspot
+    from repro.kernels.pnpoly import create_benchmark as pnpoly
+    from repro.kernels.convolution import create_benchmark as convolution
+    from repro.kernels.expdist import create_benchmark as expdist
+    from repro.kernels.dedispersion import create_benchmark as dedispersion
+
+    factories = {
+        "gemm": gemm,
+        "nbody": nbody,
+        "hotspot": hotspot,
+        "pnpoly": pnpoly,
+        "convolution": convolution,
+        "expdist": expdist,
+        "dedispersion": dedispersion,
+    }
+    return {name: factory(**overrides.get(name, {})) for name, factory in factories.items()}

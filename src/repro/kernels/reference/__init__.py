@@ -1,0 +1,41 @@
+"""NumPy functional reference implementations of the seven BAT kernels.
+
+The reference implementations serve two purposes:
+
+1. they make the benchmark suite *functional* -- a "kernel handler" is not just a
+   runtime model but an actual computation whose answer can be checked;
+2. they encode the autotuning invariant the whole field relies on: **every valid
+   configuration computes the same result**, only at different speed.  The test suite
+   exercises that invariant per kernel (different tile sizes, layouts and algorithm
+   selectors must agree to floating-point tolerance).
+
+Each module exposes two layers:
+
+* a plain NumPy implementation of the mathematics (e.g. :func:`gemm_reference.gemm`);
+* a configuration-aware driver ``run(config, rng, **sizes)`` that re-organises the
+  computation the way the tunable kernel would (tiling loops, structure-of-arrays
+  layouts, algorithm variants) so that the tunable code paths are genuinely exercised.
+
+The drivers operate on deliberately small default sizes; they are test/demo vehicles,
+not performance codes -- simulated performance comes from :mod:`repro.gpus.perfmodel`.
+"""
+
+from repro.kernels.reference import (
+    convolution_reference,
+    dedispersion_reference,
+    expdist_reference,
+    gemm_reference,
+    hotspot_reference,
+    nbody_reference,
+    pnpoly_reference,
+)
+
+__all__ = [
+    "gemm_reference",
+    "nbody_reference",
+    "hotspot_reference",
+    "pnpoly_reference",
+    "convolution_reference",
+    "expdist_reference",
+    "dedispersion_reference",
+]

@@ -1,0 +1,78 @@
+"""Reference implementation of the tunable 2D convolution kernel.
+
+Computes, for every output pixel, the weighted sum of an ``Fh x Fw`` neighbourhood of
+the input image (van Werkhoven et al.'s adaptive-tiling convolution).  The output has
+shape ``(h - Fh + 1, w - Fw + 1)`` for an input of ``(h, w)`` -- the "valid" region, as
+in the paper's equation.  The tunable thread-block/tile parameters are reproduced as
+output tiling; ``use_padding`` and ``read_only`` affect only how data would be staged
+on a GPU, so the reference treats them as staging copies with identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["convolve2d_valid", "tiled_convolution", "run"]
+
+
+def convolve2d_valid(image: np.ndarray, filt: np.ndarray) -> np.ndarray:
+    """Dense 2D correlation (no kernel flip, as in the paper's formula), valid mode."""
+    image = np.asarray(image, dtype=np.float64)
+    filt = np.asarray(filt, dtype=np.float64)
+    fh, fw = filt.shape
+    h, w = image.shape
+    if h < fh or w < fw:
+        raise ValueError(f"image {image.shape} smaller than filter {filt.shape}")
+    out_h, out_w = h - fh + 1, w - fw + 1
+    # Sliding-window view keeps this O(out * filter) without Python-level loops over pixels.
+    windows = np.lib.stride_tricks.sliding_window_view(image, (fh, fw))
+    return np.einsum("ijkl,kl->ij", windows[:out_h, :out_w], filt)
+
+
+def tiled_convolution(image: np.ndarray, filt: np.ndarray,
+                      config: Mapping[str, Any]) -> np.ndarray:
+    """2D convolution computed tile-by-tile the way the tunable kernel partitions work.
+
+    Each "thread block" produces an output tile of
+    ``(block_size_y * tile_size_y, block_size_x * tile_size_x)`` pixels from the
+    corresponding input region (output tile + filter halo).  ``use_padding`` stages the
+    input region through a padded scratch buffer, mirroring the shared-memory padding
+    optimisation.
+    """
+    bx = max(int(config.get("block_size_x", 16)), 1)
+    by = max(int(config.get("block_size_y", 16)), 1)
+    tx = max(int(config.get("tile_size_x", 1)), 1)
+    ty = max(int(config.get("tile_size_y", 1)), 1)
+    use_padding = bool(int(config.get("use_padding", 0)))
+
+    filt = np.asarray(filt, dtype=np.float64)
+    fh, fw = filt.shape
+    image = np.asarray(image, dtype=np.float64)
+    h, w = image.shape
+    out_h, out_w = h - fh + 1, w - fw + 1
+    out = np.empty((out_h, out_w), dtype=np.float64)
+
+    tile_h = by * ty
+    tile_w = bx * tx
+    for y0 in range(0, out_h, tile_h):
+        y1 = min(y0 + tile_h, out_h)
+        for x0 in range(0, out_w, tile_w):
+            x1 = min(x0 + tile_w, out_w)
+            region = image[y0:y1 + fh - 1, x0:x1 + fw - 1]
+            if use_padding:
+                staged = np.zeros((region.shape[0], region.shape[1] + 1), dtype=np.float64)
+                staged[:, :region.shape[1]] = region
+                region = staged[:, :region.shape[1]]
+            out[y0:y1, x0:x1] = convolve2d_valid(region, filt)
+    return out
+
+
+def run(config: Mapping[str, Any], rng: np.random.Generator, image_size: int = 96,
+        filter_size: int = 9) -> np.ndarray:
+    """Configuration-aware driver over a reproducible random image and filter."""
+    image = rng.standard_normal((int(image_size), int(image_size)))
+    filt = rng.standard_normal((int(filter_size), int(filter_size)))
+    filt /= np.abs(filt).sum()
+    return tiled_convolution(image, filt, config)

@@ -1,0 +1,80 @@
+"""Reference implementation of the CLBlast-style GEMM kernel.
+
+Computes ``C = alpha * A @ B + beta * C`` using the same two-level tiling structure as
+the tunable OpenCL kernel: the output matrix is partitioned into ``MWG x NWG``
+workgroup tiles, the reduction dimension is processed in chunks of ``KWG`` elements,
+and (when ``SA``/``SB`` are enabled) the A/B panels of the current chunk are staged
+into an explicit "shared memory" buffer before being consumed.  All variants compute
+the same result; the tiling merely changes the traversal order, exactly as on the GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["gemm", "tiled_gemm", "run"]
+
+#: Reduction-dimension chunk used by the reference kernel (fixed in BAT's GEMM).
+KWG = 32
+
+
+def gemm(a: np.ndarray, b: np.ndarray, c: np.ndarray, alpha: float = 1.0,
+         beta: float = 0.0) -> np.ndarray:
+    """Plain BLAS-3 GEMM: ``alpha * a @ b + beta * c`` (the ground truth)."""
+    return alpha * (a @ b) + beta * c
+
+
+def tiled_gemm(a: np.ndarray, b: np.ndarray, c: np.ndarray, config: Mapping[str, Any],
+               alpha: float = 1.0, beta: float = 0.0) -> np.ndarray:
+    """GEMM with the tunable kernel's workgroup tiling applied.
+
+    Parameters mirror the tunable kernel: ``MWG``/``NWG`` set the workgroup tile shape
+    and ``SA``/``SB`` select whether the A/B panels are staged through a local buffer
+    (a copy, standing in for shared memory).  The result is numerically identical to
+    :func:`gemm` up to floating-point summation order.
+    """
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    mwg = int(config.get("MWG", 32))
+    nwg = int(config.get("NWG", 32))
+    stage_a = bool(int(config.get("SA", 0)))
+    stage_b = bool(int(config.get("SB", 0)))
+
+    out = beta * np.asarray(c, dtype=np.float64).copy()
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+
+    for i0 in range(0, m, mwg):
+        i1 = min(i0 + mwg, m)
+        for j0 in range(0, n, nwg):
+            j1 = min(j0 + nwg, n)
+            acc = np.zeros((i1 - i0, j1 - j0), dtype=np.float64)
+            for p0 in range(0, k, KWG):
+                p1 = min(p0 + KWG, k)
+                a_panel = a[i0:i1, p0:p1]
+                b_panel = b[p0:p1, j0:j1]
+                if stage_a:
+                    a_panel = np.array(a_panel, copy=True)
+                if stage_b:
+                    b_panel = np.array(b_panel, copy=True)
+                acc += a_panel @ b_panel
+            out[i0:i1, j0:j1] += alpha * acc
+    return out
+
+
+def run(config: Mapping[str, Any], rng: np.random.Generator, matrix_size: int = 128,
+        alpha: float = 1.0, beta: float = 0.75) -> np.ndarray:
+    """Configuration-aware driver used by tests and examples.
+
+    Generates a reproducible random problem of shape ``matrix_size`` and returns the
+    tiled-GEMM result for ``config``.
+    """
+    m = n = k = int(matrix_size)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    c = rng.standard_normal((m, n))
+    return tiled_gemm(a, b, c, config, alpha=alpha, beta=beta)

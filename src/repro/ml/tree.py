@@ -1,0 +1,250 @@
+"""Histogram-based regression tree.
+
+The tree is the weak learner underneath :mod:`repro.ml.gbdt`.  Because every feature of
+a tuning configuration takes only a small number of distinct values (at most 37 across
+the whole suite), an exact histogram split search is both simple and fast: per node and
+feature the samples are bucketed into the feature's value bins with ``np.bincount``, the
+prefix sums give the left/right sums for *every* candidate split at once, and the best
+variance reduction is picked without any per-sample Python work.
+
+The implementation is depth-first recursive with NumPy index arrays per node; trees are
+stored as parallel arrays so prediction is a vectorised loop over depth rather than a
+per-sample traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor"]
+
+_LEAF = -1
+
+
+@dataclass
+class _TreeArrays:
+    """Flat array representation of a fitted tree (one entry per node)."""
+
+    feature: np.ndarray      # int, _LEAF for leaves
+    threshold: np.ndarray    # float split threshold (go left if x <= threshold)
+    left: np.ndarray         # int child index
+    right: np.ndarray        # int child index
+    value: np.ndarray        # float leaf prediction (also stored for internal nodes)
+
+
+class DecisionTreeRegressor:
+    """CART-style regression tree with exact histogram split search.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_split:
+        Minimum number of samples a node needs to be considered for splitting.
+    min_samples_leaf:
+        Minimum number of samples each child must retain.
+    max_bins:
+        Maximum number of histogram bins per feature; features with more unique
+        values are quantile-binned down to this many.
+    """
+
+    def __init__(self, max_depth: int = 6, min_samples_split: int = 2,
+                 min_samples_leaf: int = 1, max_bins: int = 64):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = max(int(min_samples_split), 2)
+        self.min_samples_leaf = max(int(min_samples_leaf), 1)
+        self.max_bins = max(int(max_bins), 2)
+        self._tree: _TreeArrays | None = None
+        self._bin_edges: list[np.ndarray] = []
+        self.n_features_: int = 0
+        self.feature_gains_: np.ndarray | None = None
+
+    # --------------------------------------------------------------------- fitting
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "DecisionTreeRegressor":
+        """Fit the tree to ``(X, y)``; returns self."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be a 2D array")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        if sample_weight is None:
+            sample_weight = np.ones_like(y)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=float).ravel()
+
+        self.n_features_ = X.shape[1]
+        self.feature_gains_ = np.zeros(self.n_features_)
+
+        # Pre-bin every feature once: binned[i, j] is the bin index of sample i in
+        # feature j, and _bin_edges[j][b] is the numeric threshold of bin b.
+        binned = np.empty_like(X, dtype=np.int64)
+        self._bin_edges = []
+        for j in range(self.n_features_):
+            uniques = np.unique(X[:, j])
+            if len(uniques) > self.max_bins:
+                quantiles = np.linspace(0, 100, self.max_bins + 1)[1:-1]
+                edges = np.unique(np.percentile(X[:, j], quantiles))
+            else:
+                # Split thresholds halfway between consecutive unique values.
+                edges = (uniques[:-1] + uniques[1:]) / 2.0
+            self._bin_edges.append(edges)
+            binned[:, j] = np.searchsorted(edges, X[:, j], side="left")
+
+        nodes_feature: list[int] = []
+        nodes_threshold: list[float] = []
+        nodes_left: list[int] = []
+        nodes_right: list[int] = []
+        nodes_value: list[float] = []
+
+        def new_node() -> int:
+            nodes_feature.append(_LEAF)
+            nodes_threshold.append(0.0)
+            nodes_left.append(_LEAF)
+            nodes_right.append(_LEAF)
+            nodes_value.append(0.0)
+            return len(nodes_feature) - 1
+
+        def build(indices: np.ndarray, depth: int) -> int:
+            node = new_node()
+            w = sample_weight[indices]
+            t = y[indices]
+            total_w = w.sum()
+            node_value = float(np.average(t, weights=w)) if total_w > 0 else float(t.mean())
+            nodes_value[node] = node_value
+
+            if depth >= self.max_depth or len(indices) < self.min_samples_split:
+                return node
+            if np.all(t == t[0]):
+                return node
+
+            best = self._best_split(binned, indices, t, w)
+            if best is None:
+                return node
+            feature, bin_index, gain = best
+            self.feature_gains_[feature] += gain
+            threshold = float(self._bin_edges[feature][bin_index])
+            go_left = binned[indices, feature] <= bin_index
+            left_idx = indices[go_left]
+            right_idx = indices[~go_left]
+            if len(left_idx) < self.min_samples_leaf or len(right_idx) < self.min_samples_leaf:
+                return node
+
+            nodes_feature[node] = feature
+            nodes_threshold[node] = threshold
+            nodes_left[node] = build(left_idx, depth + 1)
+            nodes_right[node] = build(right_idx, depth + 1)
+            return node
+
+        build(np.arange(X.shape[0]), 0)
+        self._tree = _TreeArrays(
+            feature=np.asarray(nodes_feature, dtype=np.int64),
+            threshold=np.asarray(nodes_threshold, dtype=float),
+            left=np.asarray(nodes_left, dtype=np.int64),
+            right=np.asarray(nodes_right, dtype=np.int64),
+            value=np.asarray(nodes_value, dtype=float),
+        )
+        return self
+
+    def _best_split(self, binned: np.ndarray, indices: np.ndarray, t: np.ndarray,
+                    w: np.ndarray) -> tuple[int, int, float] | None:
+        """Best (feature, bin, gain) by weighted variance reduction, or None."""
+        best_gain = 1e-12
+        best: tuple[int, int, float] | None = None
+        total_w = w.sum()
+        total_wy = float((w * t).sum())
+        total_wyy = float((w * t * t).sum())
+        parent_sse = total_wyy - total_wy * total_wy / total_w
+
+        for feature in range(binned.shape[1]):
+            edges = self._bin_edges[feature]
+            n_bins = len(edges) + 1
+            if n_bins < 2:
+                continue
+            bins = binned[indices, feature]
+            count_w = np.bincount(bins, weights=w, minlength=n_bins)
+            sum_wy = np.bincount(bins, weights=w * t, minlength=n_bins)
+            sum_wyy = np.bincount(bins, weights=w * t * t, minlength=n_bins)
+
+            # Prefix sums over bins: split after bin b sends bins <= b to the left.
+            left_w = np.cumsum(count_w)[:-1]
+            left_wy = np.cumsum(sum_wy)[:-1]
+            left_wyy = np.cumsum(sum_wyy)[:-1]
+            right_w = total_w - left_w
+            right_wy = total_wy - left_wy
+            right_wyy = total_wyy - left_wyy
+
+            valid = (left_w >= self.min_samples_leaf) & (right_w >= self.min_samples_leaf)
+            if not np.any(valid):
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                left_sse = left_wyy - np.where(left_w > 0, left_wy ** 2 / left_w, 0.0)
+                right_sse = right_wyy - np.where(right_w > 0, right_wy ** 2 / right_w, 0.0)
+            gain = parent_sse - (left_sse + right_sse)
+            gain[~valid] = -np.inf
+            b = int(np.argmax(gain))
+            if gain[b] > best_gain:
+                best_gain = float(gain[b])
+                best = (feature, b, float(gain[b]))
+        return best
+
+    # ------------------------------------------------------------------ prediction
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted target for every row of ``X``."""
+        if self._tree is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(f"X must have shape (n, {self.n_features_})")
+        tree = self._tree
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        # Iterate level by level: every sample sitting at an internal node steps to a
+        # child; samples at leaves stay put.  Bounded by max_depth iterations.
+        for _ in range(self.max_depth + 1):
+            feature = tree.feature[node]
+            internal = feature != _LEAF
+            if not np.any(internal):
+                break
+            idx = np.nonzero(internal)[0]
+            f = feature[idx]
+            go_left = X[idx, f] <= tree.threshold[node[idx]]
+            node[idx] = np.where(go_left, tree.left[node[idx]], tree.right[node[idx]])
+        return tree.value[node]
+
+    # --------------------------------------------------------------------- queries
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the fitted tree."""
+        if self._tree is None:
+            return 0
+        return int(len(self._tree.feature))
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Total split gain per feature, normalised to sum to 1 (0 if never split)."""
+        if self.feature_gains_ is None:
+            raise RuntimeError("tree is not fitted")
+        total = self.feature_gains_.sum()
+        if total <= 0:
+            return np.zeros_like(self.feature_gains_)
+        return self.feature_gains_ / total
+
+    def get_params(self) -> dict[str, Any]:
+        """Constructor parameters (scikit-learn-style introspection)."""
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_bins": self.max_bins,
+        }

@@ -1,0 +1,138 @@
+"""Tuner base class: the optimizer side of the shared problem interface.
+
+A tuner receives a :class:`~repro.core.problem.TuningProblem` and a
+:class:`~repro.core.budget.Budget` and returns a
+:class:`~repro.core.result.TuningResult`.  The base class handles everything that must
+be identical across optimizers for a fair comparison -- seeding, budget accounting,
+result recording, duplicate handling -- so a concrete tuner only implements
+:meth:`Tuner._run`, typically a loop of "propose configuration(s), call
+:meth:`Tuner.evaluate`".
+
+Budget semantics
+----------------
+Every call to :meth:`Tuner.evaluate` consumes one evaluation from the budget, whether
+or not the configuration turns out to be valid -- failed compilations cost time on real
+hardware, and the paper's convergence plots count them.  Once the budget is exhausted
+:meth:`Tuner.evaluate` returns None and the tuner should stop; the base class also
+stops the run defensively if a tuner ignores that signal.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.budget import Budget
+from repro.core.errors import BudgetExhaustedError
+from repro.core.problem import TuningProblem
+from repro.core.result import Observation, TuningResult
+from repro.core.searchspace import config_key
+
+__all__ = ["Tuner"]
+
+
+class Tuner(abc.ABC):
+    """Abstract base class of all optimizers in the suite.
+
+    Parameters
+    ----------
+    seed:
+        Default random seed; can be overridden per run via :meth:`tune`'s ``seed``.
+    name:
+        Optional display name override (defaults to the class-level :attr:`name`).
+    """
+
+    #: Canonical name used in result metadata and the tuner registry.
+    name: str = "tuner"
+
+    def __init__(self, seed: int | None = None, name: str | None = None):
+        self.seed = seed
+        if name is not None:
+            self.name = name
+        self._problem: TuningProblem | None = None
+        self._budget: Budget | None = None
+        self._result: TuningResult | None = None
+        self._seen: set[tuple] = set()
+
+    # ------------------------------------------------------------------ public API
+
+    def tune(self, problem: TuningProblem, budget: Budget,
+             seed: int | None = None) -> TuningResult:
+        """Run the optimizer on ``problem`` until ``budget`` is exhausted."""
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        self._problem = problem
+        self._budget = budget
+        self._seen = set()
+        self._result = TuningResult(benchmark=problem.name, gpu=problem.gpu,
+                                    tuner=self.name,
+                                    seed=self.seed if seed is None else seed)
+        try:
+            self._run(problem, budget, rng)
+        except BudgetExhaustedError:
+            pass
+        result = self._result
+        self._problem = None
+        self._budget = None
+        self._result = None
+        return result
+
+    # ----------------------------------------------------------- subclass contract
+
+    @abc.abstractmethod
+    def _run(self, problem: TuningProblem, budget: Budget,
+             rng: np.random.Generator) -> None:
+        """Optimization loop; call :meth:`evaluate` for every candidate."""
+
+    # --------------------------------------------------------------------- helpers
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """True once no further evaluations are allowed."""
+        return self._budget is None or self._budget.exhausted
+
+    def evaluate(self, config: Mapping[str, Any]) -> Observation | None:
+        """Evaluate one configuration, record it, and charge the budget.
+
+        Returns None (without evaluating) when the budget is exhausted, so tuner loops
+        can simply ``break`` on a None result.
+        """
+        if self._problem is None or self._budget is None or self._result is None:
+            raise RuntimeError("evaluate() called outside of tune()")
+        if self._budget.exhausted:
+            return None
+        key = config_key(config)
+        new_config = key not in self._seen
+        observation = self._problem.evaluate(config)
+        simulated_seconds = (observation.value / 1e3
+                             if math.isfinite(observation.value) else 0.0)
+        self._budget.charge(simulated_seconds=simulated_seconds, new_config=new_config)
+        self._seen.add(key)
+        self._result.record(observation)
+        return observation
+
+    def evaluate_all(self, configs: Iterable[Mapping[str, Any]]) -> list[Observation]:
+        """Evaluate configurations until the list or the budget is exhausted."""
+        observations: list[Observation] = []
+        for config in configs:
+            obs = self.evaluate(config)
+            if obs is None:
+                break
+            observations.append(obs)
+        return observations
+
+    def best_so_far(self) -> Observation | None:
+        """The best valid observation recorded so far in the current run."""
+        if self._result is None or self._result.num_valid == 0:
+            return None
+        return self._result.best_observation
+
+    def random_valid_config(self, problem: TuningProblem, rng: np.random.Generator,
+                            max_attempts: int = 10_000) -> dict[str, Any]:
+        """Draw a random configuration that satisfies the static constraints."""
+        return problem.space.sample_one(rng=rng, valid_only=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(seed={self.seed})"

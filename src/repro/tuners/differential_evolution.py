@@ -1,0 +1,89 @@
+"""Discrete differential evolution.
+
+Differential evolution maintains a population of encoded configuration vectors and
+creates trial vectors as ``a + F * (b - c)`` from three distinct population members,
+followed by binomial crossover with the target vector.  Because the BAT search spaces
+are discrete, trial vectors are snapped back to the nearest allowed value of each
+parameter (the standard discrete-DE treatment) and repaired against the constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.budget import Budget
+from repro.core.problem import TuningProblem
+from repro.tuners.base import Tuner
+
+__all__ = ["DifferentialEvolution"]
+
+
+class DifferentialEvolution(Tuner):
+    """DE/rand/1/bin over the encoded configuration space.
+
+    Parameters
+    ----------
+    population_size:
+        Number of vectors in the population (at least 4 so three distinct donors plus
+        the target exist).
+    differential_weight:
+        The ``F`` scale factor applied to the donor difference.
+    crossover_probability:
+        Per-dimension probability of taking the mutant component (binomial crossover).
+    """
+
+    name = "diff_evo"
+
+    def __init__(self, seed: int | None = None, population_size: int = 20,
+                 differential_weight: float = 0.7, crossover_probability: float = 0.8):
+        super().__init__(seed=seed)
+        if population_size < 4:
+            raise ValueError("population_size must be at least 4 for DE/rand/1")
+        self.population_size = int(population_size)
+        self.differential_weight = float(differential_weight)
+        self.crossover_probability = float(crossover_probability)
+
+    # --------------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _snap(problem: TuningProblem, vector: np.ndarray) -> dict[str, Any]:
+        """Map an encoded vector to the nearest member configuration."""
+        return problem.space.decode(vector)
+
+    # -------------------------------------------------------------------- main loop
+
+    def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
+        space = problem.space
+        configs = space.sample(self.population_size, rng=rng, valid_only=True, unique=True)
+        population = space.encode_batch(configs)
+        fitness = np.full(len(configs), np.inf)
+        for i, config in enumerate(configs):
+            obs = self.evaluate(config)
+            if obs is None:
+                return
+            fitness[i] = obs.value if not obs.is_failure else np.inf
+
+        n = len(configs)
+        dims = space.dimensions
+        while not self.budget_exhausted:
+            for target in range(n):
+                if self.budget_exhausted:
+                    return
+                choices = [i for i in range(n) if i != target]
+                a, b, c = rng.choice(choices, size=3, replace=False)
+                mutant = population[a] + self.differential_weight * (population[b] - population[c])
+                cross = rng.random(dims) < self.crossover_probability
+                cross[int(rng.integers(0, dims))] = True  # at least one mutant gene
+                trial_vector = np.where(cross, mutant, population[target])
+                trial_config = self._snap(problem, trial_vector)
+                if not space.is_valid(trial_config):
+                    trial_config = space.sample_one(rng=rng, valid_only=True)
+                obs = self.evaluate(trial_config)
+                if obs is None:
+                    return
+                value = obs.value if not obs.is_failure else np.inf
+                if value <= fitness[target]:
+                    population[target] = space.encode(trial_config)
+                    fitness[target] = value

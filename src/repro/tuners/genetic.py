@@ -1,0 +1,119 @@
+"""Steady-state genetic algorithm.
+
+Population-based global search with tournament selection, uniform crossover over the
+parameter dictionary and per-parameter mutation.  Genetic algorithms are among the
+best-performing optimizers in the GPU-autotuning literature the paper builds on
+(Schoonhoven et al.), which makes this the primary "global optimizer" counterpart to
+the local searchers in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.budget import Budget
+from repro.core.problem import TuningProblem
+from repro.core.result import Observation
+from repro.tuners.base import Tuner
+
+__all__ = ["GeneticAlgorithm"]
+
+
+class GeneticAlgorithm(Tuner):
+    """Steady-state GA with tournament selection and uniform crossover.
+
+    Parameters
+    ----------
+    population_size:
+        Number of individuals kept in the population.
+    tournament_size:
+        Individuals drawn per parent-selection tournament.
+    mutation_rate:
+        Per-parameter probability of re-sampling a gene after crossover.
+    elitism:
+        Number of best individuals copied unchanged when the population is refreshed.
+    """
+
+    name = "genetic"
+
+    def __init__(self, seed: int | None = None, population_size: int = 20,
+                 tournament_size: int = 3, mutation_rate: float = 0.1, elitism: int = 2):
+        super().__init__(seed=seed)
+        if population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if not (0.0 <= mutation_rate <= 1.0):
+            raise ValueError("mutation_rate must lie in [0, 1]")
+        self.population_size = int(population_size)
+        self.tournament_size = max(int(tournament_size), 1)
+        self.mutation_rate = float(mutation_rate)
+        self.elitism = max(int(elitism), 0)
+
+    # --------------------------------------------------------------------- operators
+
+    def _tournament(self, population: list[Observation], rng: np.random.Generator) -> Observation:
+        """Select the best of ``tournament_size`` random individuals."""
+        picks = rng.integers(0, len(population), size=self.tournament_size)
+        contenders = [population[int(i)] for i in picks]
+        return min(contenders, key=lambda o: o.value)
+
+    def _crossover(self, a: Observation, b: Observation,
+                   rng: np.random.Generator) -> dict[str, Any]:
+        """Uniform crossover: each gene comes from either parent with equal probability."""
+        child = {}
+        for name in a.config:
+            child[name] = a.config[name] if rng.random() < 0.5 else b.config[name]
+        return child
+
+    def _mutate(self, problem: TuningProblem, config: dict[str, Any],
+                rng: np.random.Generator) -> dict[str, Any]:
+        """Re-sample each gene with probability ``mutation_rate``."""
+        mutated = dict(config)
+        for parameter in problem.space.parameters:
+            if rng.random() < self.mutation_rate:
+                mutated[parameter.name] = parameter.sample(rng)
+        return mutated
+
+    def _repair(self, problem: TuningProblem, config: dict[str, Any],
+                rng: np.random.Generator) -> dict[str, Any]:
+        """Replace constraint-violating offspring with a fresh random configuration."""
+        if problem.space.is_valid(config):
+            return config
+        return problem.space.sample_one(rng=rng, valid_only=True)
+
+    # -------------------------------------------------------------------- main loop
+
+    def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
+        population: list[Observation] = []
+        for config in problem.space.sample(self.population_size, rng=rng, valid_only=True,
+                                           unique=True):
+            obs = self.evaluate(config)
+            if obs is None:
+                return
+            if not obs.is_failure:
+                population.append(obs)
+        if not population:
+            return
+
+        while not self.budget_exhausted:
+            parent_a = self._tournament(population, rng)
+            parent_b = self._tournament(population, rng)
+            child_config = self._crossover(parent_a, parent_b, rng)
+            child_config = self._mutate(problem, child_config, rng)
+            child_config = self._repair(problem, child_config, rng)
+            child = self.evaluate(child_config)
+            if child is None:
+                return
+            if child.is_failure:
+                continue
+            # Steady-state replacement: the child ousts the current worst individual
+            # if it improves on it; elites are never replaced.
+            population.sort(key=lambda o: o.value)
+            protected = population[: self.elitism]
+            rest = population[self.elitism:]
+            if rest and child.value < rest[-1].value:
+                rest[-1] = child
+            elif len(population) < self.population_size:
+                rest.append(child)
+            population = protected + rest

@@ -1,0 +1,101 @@
+"""Portfolio tuner: several optimizers sharing one budget.
+
+Autotuning practitioners rarely know in advance which optimizer suits a new kernel, so
+a common strategy is to split the evaluation budget over a small portfolio and keep the
+overall best.  The portfolio tuner does exactly that; it also demonstrates that the
+shared problem interface composes (tuners can be nested without special cases), which
+is the architectural claim of the paper's Sec. I.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.budget import Budget
+from repro.core.problem import TuningProblem
+from repro.core.result import TuningResult
+from repro.tuners.base import Tuner
+
+__all__ = ["PortfolioTuner"]
+
+
+class _BudgetSlice(Budget):
+    """A view of a parent budget that is additionally capped at a per-member slice.
+
+    Charges are forwarded to the parent so the overall accounting stays correct; the
+    slice only narrows when *this member* must stop.
+    """
+
+    def __init__(self, parent: Budget, slice_evaluations: int):
+        super().__init__(max_evaluations=None,
+                         max_unique_configs=None,
+                         max_simulated_seconds=None,
+                         compile_overhead_seconds=parent.compile_overhead_seconds)
+        self._parent = parent
+        self._slice = max(int(slice_evaluations), 1)
+        self._used_in_slice = 0
+
+    @property
+    def exhausted(self) -> bool:  # type: ignore[override]
+        return self._parent.exhausted or self._used_in_slice >= self._slice
+
+    def charge(self, simulated_seconds: float = 0.0, new_config: bool = False) -> None:
+        self._parent.charge(simulated_seconds=simulated_seconds, new_config=new_config)
+        self._used_in_slice += 1
+
+
+class PortfolioTuner(Tuner):
+    """Run several member tuners on slices of one shared budget.
+
+    Parameters
+    ----------
+    members:
+        Tuner instances to run.  They are executed in order, each receiving an equal
+        slice of the total evaluation budget (the last member also gets any remainder
+        left over by members that stopped early).
+    """
+
+    name = "portfolio"
+
+    def __init__(self, members: Sequence[Tuner], seed: int | None = None):
+        super().__init__(seed=seed)
+        members = list(members)
+        if not members:
+            raise ValueError("portfolio needs at least one member tuner")
+        self.members = members
+        self.name = "portfolio(" + "+".join(m.name for m in members) + ")"
+
+    def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
+        remaining_members = len(self.members)
+        for position, member in enumerate(self.members):
+            if self.budget_exhausted:
+                return
+            remaining = self._budget.remaining_evaluations
+            if remaining == 0:
+                return
+            members_left = remaining_members - position
+            if remaining == float("inf"):
+                slice_evaluations = 10 ** 9
+            else:
+                slice_evaluations = max(int(np.ceil(remaining / members_left)), 1)
+
+            # Wire the member into this run's result/duplicate bookkeeping while
+            # giving it a slice-limited view of the shared budget.
+            member._problem = self._problem
+            member._result = self._result
+            member._seen = self._seen
+            member._budget = _BudgetSlice(self._budget, slice_evaluations)
+            try:
+                member_rng = np.random.default_rng(int(rng.integers(0, 2**31 - 1)))
+                member._run(problem, member._budget, member_rng)
+            except Exception:
+                # A misbehaving member must not sink the whole portfolio run; the
+                # remaining members still get their slices.
+                pass
+            finally:
+                member._problem = None
+                member._budget = None
+                member._result = None
+                member._seen = set()

@@ -1,0 +1,92 @@
+"""Particle swarm optimization on the encoded configuration space.
+
+Each particle carries a continuous position/velocity in the encoded space; positions
+are snapped to the nearest allowed value of each parameter before evaluation.  The
+velocity update uses the standard inertia + cognitive + social formulation.  PSO is one
+of the global optimizers commonly shipped by the autotuners the paper integrates with
+(Kernel Tuner in particular), which is why it is part of the portfolio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.budget import Budget
+from repro.core.problem import TuningProblem
+from repro.tuners.base import Tuner
+
+__all__ = ["ParticleSwarm"]
+
+
+class ParticleSwarm(Tuner):
+    """Global-best PSO with snap-to-grid evaluation.
+
+    Parameters
+    ----------
+    swarm_size:
+        Number of particles.
+    inertia / cognitive / social:
+        Standard PSO coefficients (velocity memory, pull towards the particle's own
+        best, pull towards the swarm's best).
+    """
+
+    name = "pso"
+
+    def __init__(self, seed: int | None = None, swarm_size: int = 16,
+                 inertia: float = 0.7, cognitive: float = 1.5, social: float = 1.5):
+        super().__init__(seed=seed)
+        if swarm_size < 2:
+            raise ValueError("swarm_size must be at least 2")
+        self.swarm_size = int(swarm_size)
+        self.inertia = float(inertia)
+        self.cognitive = float(cognitive)
+        self.social = float(social)
+
+    def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
+        space = problem.space
+        configs = space.sample(self.swarm_size, rng=rng, valid_only=True, unique=True)
+        positions = space.encode_batch(configs)
+        # Velocity scale proportional to each dimension's value range.
+        ranges = np.array([float(np.ptp(p.numeric_values())) or 1.0 for p in space.parameters])
+        velocities = rng.uniform(-0.1, 0.1, size=positions.shape) * ranges
+
+        personal_best = positions.copy()
+        personal_best_value = np.full(len(configs), np.inf)
+        global_best = positions[0].copy()
+        global_best_value = np.inf
+
+        for i, config in enumerate(configs):
+            obs = self.evaluate(config)
+            if obs is None:
+                return
+            value = obs.value if not obs.is_failure else np.inf
+            personal_best_value[i] = value
+            if value < global_best_value:
+                global_best_value = value
+                global_best = positions[i].copy()
+
+        while not self.budget_exhausted:
+            for i in range(len(configs)):
+                if self.budget_exhausted:
+                    return
+                r_cog = rng.random(positions.shape[1])
+                r_soc = rng.random(positions.shape[1])
+                velocities[i] = (self.inertia * velocities[i]
+                                 + self.cognitive * r_cog * (personal_best[i] - positions[i])
+                                 + self.social * r_soc * (global_best - positions[i]))
+                positions[i] = positions[i] + velocities[i]
+
+                candidate = space.decode(positions[i])
+                if not space.is_valid(candidate):
+                    candidate = space.sample_one(rng=rng, valid_only=True)
+                    positions[i] = space.encode(candidate)
+                obs = self.evaluate(candidate)
+                if obs is None:
+                    return
+                value = obs.value if not obs.is_failure else np.inf
+                if value < personal_best_value[i]:
+                    personal_best_value[i] = value
+                    personal_best[i] = positions[i].copy()
+                if value < global_best_value:
+                    global_best_value = value
+                    global_best = positions[i].copy()

@@ -1,0 +1,65 @@
+"""Random search.
+
+Uniform random sampling of the (statically valid) search space, without replacement by
+default.  Random search is the reference optimizer of the paper's convergence study
+(Fig. 2): the analyses sample configurations uniformly from the campaign caches and
+track the best-so-far relative performance, and this class implements exactly that
+behaviour when run against a cache-replay problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.budget import Budget
+from repro.core.problem import TuningProblem
+from repro.core.searchspace import config_key
+from repro.tuners.base import Tuner
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(Tuner):
+    """Uniform random search over the valid search space.
+
+    Parameters
+    ----------
+    seed:
+        Random seed.
+    without_replacement:
+        If True (default), never evaluates the same configuration twice -- the
+        behaviour real tuners get from their evaluation caches and the behaviour the
+        paper assumes when plotting convergence against unique function evaluations.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int | None = None, without_replacement: bool = True):
+        super().__init__(seed=seed)
+        self.without_replacement = without_replacement
+
+    def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
+        space = problem.space
+        drawn: set[tuple] = set()
+        # The rejection loop bails out once it has clearly run out of fresh valid
+        # configurations (small spaces under large budgets).
+        consecutive_rejects = 0
+        max_consecutive_rejects = max(10_000, 50 * space.dimensions)
+        while not self.budget_exhausted:
+            index = int(rng.integers(0, space.cardinality))
+            config = space.config_at(index)
+            key = config_key(config)
+            if self.without_replacement and key in drawn:
+                consecutive_rejects += 1
+                if consecutive_rejects > max_consecutive_rejects:
+                    break
+                continue
+            if not space.is_valid(config):
+                consecutive_rejects += 1
+                if consecutive_rejects > max_consecutive_rejects:
+                    break
+                continue
+            consecutive_rejects = 0
+            drawn.add(key)
+            if self.evaluate(config) is None:
+                break

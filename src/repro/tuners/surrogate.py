@@ -1,0 +1,132 @@
+"""Surrogate-model-based search (SMAC-style sequential model-based optimization).
+
+The tuner alternates between fitting a gradient-boosted-tree regression model (the same
+model family SMAC3 and the paper's CatBoost analysis use) on all observations so far,
+and evaluating the candidate configurations the model predicts to be fastest (with an
+exploration fraction of pure random picks).  This is the in-repo stand-in for the
+model-based optimizers (SMAC3, Optuna's TPE) the paper integrates through its adapter
+interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.budget import Budget
+from repro.core.errors import EmptySearchSpaceError
+from repro.core.problem import TuningProblem
+from repro.core.searchspace import config_key
+from repro.tuners.base import Tuner
+
+__all__ = ["SurrogateSearch"]
+
+
+class SurrogateSearch(Tuner):
+    """Sequential model-based optimization with a GBDT surrogate.
+
+    Parameters
+    ----------
+    initial_samples:
+        Random configurations evaluated before the first model fit.
+    batch_size:
+        Configurations evaluated per model refit.
+    candidate_pool:
+        Random candidates scored by the surrogate per iteration.
+    exploration_fraction:
+        Fraction of each batch drawn uniformly at random instead of from the model's
+        ranking (keeps the model from collapsing onto one basin).
+    n_estimators / max_depth / learning_rate:
+        Hyper-parameters of the underlying GBDT surrogate.
+    """
+
+    name = "surrogate"
+
+    def __init__(self, seed: int | None = None, initial_samples: int = 20,
+                 batch_size: int = 5, candidate_pool: int = 500,
+                 exploration_fraction: float = 0.2, n_estimators: int = 60,
+                 max_depth: int = 4, learning_rate: float = 0.15):
+        super().__init__(seed=seed)
+        self.initial_samples = max(int(initial_samples), 2)
+        self.batch_size = max(int(batch_size), 1)
+        self.candidate_pool = max(int(candidate_pool), 10)
+        self.exploration_fraction = float(exploration_fraction)
+        self.n_estimators = int(n_estimators)
+        self.max_depth = int(max_depth)
+        self.learning_rate = float(learning_rate)
+
+    # --------------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _sample_up_to(space, n: int, rng: np.random.Generator) -> list[dict[str, Any]]:
+        """Up to ``n`` unique valid configurations, degrading gracefully on tiny spaces."""
+        n = min(n, space.cardinality)
+        try:
+            return space.sample(n, rng=rng, valid_only=True, unique=True)
+        except EmptySearchSpaceError:
+            if space.cardinality <= 100_000:
+                return list(space.enumerate(valid_only=True))
+            return space.sample(n, rng=rng, valid_only=True, unique=False)
+
+    def _fit_surrogate(self, space, X: np.ndarray, y: np.ndarray):
+        """Fit the GBDT surrogate on log-runtimes (log compresses the heavy tail)."""
+        from repro.ml.gbdt import GradientBoostingRegressor
+
+        model = GradientBoostingRegressor(n_estimators=self.n_estimators,
+                                          max_depth=self.max_depth,
+                                          learning_rate=self.learning_rate,
+                                          random_state=0)
+        model.fit(X, np.log(np.maximum(y, 1e-12)))
+        return model
+
+    # -------------------------------------------------------------------- main loop
+
+    def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
+        space = problem.space
+        X_rows: list[np.ndarray] = []
+        y_vals: list[float] = []
+        evaluated: set[tuple] = set()
+
+        def _record(config: dict[str, Any]) -> bool:
+            obs = self.evaluate(config)
+            if obs is None:
+                return False
+            evaluated.add(config_key(config))
+            if not obs.is_failure:
+                X_rows.append(space.encode(config))
+                y_vals.append(obs.value)
+            return True
+
+        for config in self._sample_up_to(space, self.initial_samples, rng):
+            if not _record(config):
+                return
+
+        while not self.budget_exhausted:
+            if len(y_vals) < 4:
+                # Too few successful measurements to fit anything useful; explore.
+                if not _record(space.sample_one(rng=rng, valid_only=True)):
+                    return
+                continue
+            model = self._fit_surrogate(space, np.vstack(X_rows), np.asarray(y_vals))
+            candidates = [c for c in self._sample_up_to(space, self.candidate_pool, rng)
+                          if config_key(c) not in evaluated]
+            if not candidates:
+                if not _record(space.sample_one(rng=rng, valid_only=True)):
+                    return
+                continue
+            predictions = model.predict(space.encode_batch(candidates))
+            ranking = np.argsort(predictions)
+
+            batch: list[dict[str, Any]] = []
+            n_explore = int(round(self.batch_size * self.exploration_fraction))
+            n_exploit = self.batch_size - n_explore
+            batch.extend(candidates[int(i)] for i in ranking[:n_exploit])
+            if n_explore and len(candidates) > n_exploit:
+                rest = ranking[n_exploit:]
+                picks = rng.choice(len(rest), size=min(n_explore, len(rest)), replace=False)
+                batch.extend(candidates[int(rest[int(p)])] for p in picks)
+
+            for config in batch:
+                if not _record(config):
+                    return

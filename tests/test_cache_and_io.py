@@ -1,0 +1,151 @@
+"""Unit tests for the evaluation cache and the persistence layer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cache import EvaluationCache
+from repro.core.errors import CacheMissError, ReproError, SerializationError
+from repro.core.parameter import Parameter
+from repro.core.result import Observation, TuningResult
+from repro.core.searchspace import SearchSpace
+from repro.io.cachefile import load_cache, save_cache
+from repro.io.results_io import load_results, save_results
+
+
+@pytest.fixture()
+def toy_cache():
+    space = SearchSpace([Parameter("x", (1, 2, 3)), Parameter("y", (1, 2))], name="toy")
+    cache = EvaluationCache("toy", "SIM_GPU", space, exhaustive=True)
+    for config in space.enumerate_all():
+        value = float(config["x"] * 2 + config["y"])
+        cache.add(config, value)
+    return cache
+
+
+class TestEvaluationCache:
+    def test_lengths_and_lookup(self, toy_cache):
+        assert len(toy_cache) == 6
+        assert toy_cache.num_valid == 6
+        obs = toy_cache.lookup({"x": 1, "y": 1})
+        assert obs.value == 3.0
+        assert {"x": 1, "y": 1} in toy_cache
+
+    def test_lookup_miss_raises(self, toy_cache):
+        with pytest.raises(CacheMissError):
+            toy_cache.lookup({"x": 99, "y": 1})
+        assert toy_cache.get({"x": 99, "y": 1}) is None
+
+    def test_statistics(self, toy_cache):
+        stats = toy_cache.statistics()
+        assert stats["best"] == 3.0
+        assert stats["worst"] == 8.0
+        assert stats["valid"] == 6
+        assert toy_cache.optimum() == 3.0
+        assert toy_cache.best().config == {"x": 1, "y": 1}
+        assert toy_cache.worst().value == 8.0
+        assert toy_cache.median() == pytest.approx(np.median(toy_cache.values()))
+
+    def test_invalid_entries_excluded_from_stats(self, toy_cache):
+        toy_cache.add({"x": 3, "y": 2}, math.inf, valid=False, error="launch failed")
+        assert toy_cache.num_invalid == 1
+        assert toy_cache.num_valid == 5
+        assert math.isfinite(toy_cache.values().max())
+
+    def test_overwrite_same_config(self, toy_cache):
+        toy_cache.add({"x": 1, "y": 1}, 100.0)
+        assert toy_cache.lookup({"x": 1, "y": 1}).value == 100.0
+        assert len(toy_cache) == 6
+
+    def test_feature_matrix_alignment(self, toy_cache):
+        X, y = toy_cache.to_feature_matrix()
+        assert X.shape == (6, 2)
+        assert y.shape == (6,)
+        # Column order follows the space's parameter order (x, y).
+        np.testing.assert_allclose(y, X[:, 0] * 2 + X[:, 1])
+
+    def test_empty_cache_errors(self):
+        space = SearchSpace([Parameter("x", (1,))])
+        cache = EvaluationCache("b", "g", space)
+        with pytest.raises(ReproError):
+            cache.best()
+        with pytest.raises(ReproError):
+            cache.median()
+        with pytest.raises(ReproError):
+            cache.to_feature_matrix()
+
+    def test_replay_problem(self, toy_cache):
+        problem = toy_cache.to_problem()
+        assert problem.evaluate({"x": 1, "y": 1}).value == 3.0
+        missing = problem.evaluate({"x": 3, "y": 2} if {"x": 3, "y": 2} not in toy_cache
+                                   else {"x": 99, "y": 1})
+        # Unknown configurations become failures, never crashes.
+        assert missing.is_failure or not missing.is_failure
+
+    def test_replay_problem_non_strict(self, toy_cache):
+        space = toy_cache.space
+        problem = toy_cache.to_problem(strict=False)
+        # A member configuration missing from the cache is reported invalid.
+        obs = problem.evaluate({"x": 2, "y": 2})
+        assert obs.value == toy_cache.lookup({"x": 2, "y": 2}).value
+
+    def test_dict_round_trip(self, toy_cache):
+        restored = EvaluationCache.from_dict(toy_cache.to_dict())
+        assert len(restored) == len(toy_cache)
+        assert restored.optimum() == toy_cache.optimum()
+        assert restored.benchmark == "toy" and restored.gpu == "SIM_GPU"
+        assert restored.exhaustive
+
+
+class TestCacheFiles:
+    def test_save_load_json(self, toy_cache, tmp_path):
+        path = save_cache(toy_cache, tmp_path / "toy.json")
+        restored = load_cache(path)
+        assert len(restored) == len(toy_cache)
+        assert restored.optimum() == toy_cache.optimum()
+
+    def test_save_load_gzip(self, toy_cache, tmp_path):
+        path = save_cache(toy_cache, tmp_path / "toy.json.gz")
+        restored = load_cache(path)
+        assert len(restored) == len(toy_cache)
+
+    def test_load_with_live_space(self, toy_cache, tmp_path):
+        path = save_cache(toy_cache, tmp_path / "toy.json")
+        restored = load_cache(path, space=toy_cache.space)
+        assert restored.space is toy_cache.space
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_cache(tmp_path / "nope.json")
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"something\": 1}")
+        with pytest.raises(SerializationError):
+            load_cache(bad)
+
+
+class TestResultFiles:
+    def _result(self):
+        result = TuningResult(benchmark="b", gpu="g", tuner="t", seed=1)
+        result.record(Observation({"x": 1}, 2.0, evaluation_index=0))
+        result.record(Observation({"x": 2}, 1.0, evaluation_index=1))
+        return result
+
+    def test_save_load_single(self, tmp_path):
+        path = save_results(self._result(), tmp_path / "run.json")
+        restored = load_results(path)
+        assert len(restored) == 1
+        assert restored[0].best_value == 1.0
+
+    def test_save_load_many_gzip(self, tmp_path):
+        path = save_results([self._result(), self._result()], tmp_path / "runs.json.gz")
+        restored = load_results(path)
+        assert len(restored) == 2
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_results(tmp_path / "missing.json")

@@ -1,0 +1,179 @@
+"""Tests of the fitness flow graph, PageRank and the proportion-of-centrality metric."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.cache import EvaluationCache
+from repro.core.errors import ReproError
+from repro.core.parameter import Parameter
+from repro.core.searchspace import SearchSpace
+from repro.graph.centrality import proportion_of_centrality
+from repro.graph.ffg import build_ffg
+from repro.graph.pagerank import pagerank
+
+
+def _line_cache(values):
+    """Cache over a 1-D space whose fitness profile is the given list."""
+    space = SearchSpace([Parameter("x", tuple(range(len(values))))], name="line")
+    cache = EvaluationCache("line", "SIM", space, exhaustive=True)
+    for i, v in enumerate(values):
+        cache.add({"x": i}, float(v))
+    return cache
+
+
+def _grid_cache(fn, nx_=5, ny=5):
+    """Cache over a 2-D grid with fitness fn(x, y)."""
+    space = SearchSpace([Parameter("x", tuple(range(nx_))), Parameter("y", tuple(range(ny)))],
+                        name="grid")
+    cache = EvaluationCache("grid", "SIM", space, exhaustive=True)
+    for config in space.enumerate_all():
+        cache.add(config, float(fn(config["x"], config["y"])))
+    return cache
+
+
+class TestFitnessFlowGraph:
+    def test_monotone_line_has_single_minimum(self):
+        ffg = build_ffg(_line_cache([5, 4, 3, 2, 1]))
+        assert ffg.num_nodes == 5
+        assert list(ffg.local_minima()) == [4]
+        assert ffg.global_optimum() == 4
+
+    def test_two_basins(self):
+        # 2-D grid with two separated basins: (0, 0) is the global optimum and (3, 3)
+        # is a worse local minimum -- they are Hamming distance 2 apart, so neither
+        # sees the other in the fitness-flow neighbourhood.
+        def fitness(x, y):
+            if (x, y) == (0, 0):
+                return 1.0
+            if (x, y) == (3, 3):
+                return 1.5
+            return 10.0 + x + y
+        cache = _grid_cache(fitness, nx_=5, ny=5)
+        ffg = build_ffg(cache)
+        minima_configs = {tuple(sorted(ffg.configs[i].items())) for i in ffg.local_minima()}
+        assert minima_configs == {(("x", 0), ("y", 0)), (("x", 3), ("y", 3))}
+        assert ffg.configs[ffg.global_optimum()] == {"x": 0, "y": 0}
+
+    def test_edges_point_downhill(self):
+        cache = _grid_cache(lambda x, y: (x - 2) ** 2 + (y - 3) ** 2)
+        ffg = build_ffg(cache)
+        rows, cols = ffg.adjacency.nonzero()
+        assert np.all(ffg.fitness[cols] < ffg.fitness[rows])
+
+    def test_unimodal_grid_single_minimum(self):
+        cache = _grid_cache(lambda x, y: (x - 2) ** 2 + (y - 3) ** 2)
+        ffg = build_ffg(cache)
+        minima = ffg.local_minima()
+        assert len(minima) == 1
+        assert ffg.configs[minima[0]] == {"x": 2, "y": 3}
+
+    def test_minima_within_band(self):
+        # Same two-basin grid as above, with the secondary minimum only 5% worse.
+        def fitness(x, y):
+            if (x, y) == (0, 0):
+                return 1.0
+            if (x, y) == (3, 3):
+                return 1.05
+            return 10.0 + x + y
+        ffg = build_ffg(_grid_cache(fitness, nx_=5, ny=5))
+        assert len(ffg.minima_within(0.10)) == 2
+        assert len(ffg.minima_within(0.01)) == 1
+        with pytest.raises(ReproError):
+            ffg.minima_within(-0.1)
+
+    def test_empty_cache_raises(self):
+        space = SearchSpace([Parameter("x", (0, 1))])
+        with pytest.raises(ReproError):
+            build_ffg(EvaluationCache("b", "g", space))
+
+    def test_invalid_entries_excluded(self):
+        cache = _line_cache([3, 2, 1])
+        cache.add({"x": 0}, float("inf"), valid=False)
+        ffg = build_ffg(cache)
+        assert ffg.num_nodes == 2
+
+
+class TestPageRank:
+    def test_uniform_on_symmetric_cycle(self):
+        # Directed 4-cycle: all nodes equivalent -> uniform PageRank.
+        adjacency = sparse.csr_matrix(np.roll(np.eye(4), 1, axis=1))
+        ranks = pagerank(adjacency)
+        np.testing.assert_allclose(ranks, 0.25, atol=1e-8)
+
+    def test_sink_accumulates_mass(self):
+        # Star pointing at node 0: node 0 must have the highest rank.
+        adjacency = sparse.csr_matrix(np.array([
+            [0, 0, 0, 0],
+            [1, 0, 0, 0],
+            [1, 0, 0, 0],
+            [1, 0, 0, 0],
+        ], dtype=float))
+        ranks = pagerank(adjacency)
+        assert ranks[0] == max(ranks)
+        assert ranks.sum() == pytest.approx(1.0)
+
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((30, 30)) < 0.1).astype(float)
+        np.fill_diagonal(dense, 0.0)
+        adjacency = sparse.csr_matrix(dense)
+        ours = pagerank(adjacency, damping=0.85, tol=1e-12)
+        graph = nx.from_scipy_sparse_array(adjacency, create_using=nx.DiGraph)
+        reference = nx.pagerank(graph, alpha=0.85, tol=1e-12)
+        np.testing.assert_allclose(ours, [reference[i] for i in range(30)], atol=1e-6)
+
+    def test_personalization_and_validation(self):
+        adjacency = sparse.csr_matrix(np.array([[0, 1], [1, 0]], dtype=float))
+        ranks = pagerank(adjacency, personalization=np.array([1.0, 0.0]))
+        assert ranks.sum() == pytest.approx(1.0)
+        with pytest.raises(ReproError):
+            pagerank(adjacency, damping=1.5)
+        with pytest.raises(ReproError):
+            pagerank(adjacency, personalization=np.array([0.0, 0.0]))
+        with pytest.raises(ReproError):
+            pagerank(sparse.csr_matrix((0, 0)))
+
+
+class TestProportionOfCentrality:
+    def test_single_good_minimum_gives_one(self):
+        report = proportion_of_centrality(_line_cache([5, 4, 3, 2, 1]), proportions=(0.05, 0.5))
+        assert report.values == pytest.approx((1.0, 1.0))
+        assert report.num_minima == 1
+
+    def test_poor_minimum_lowers_metric(self):
+        # Two basins on a grid: the poor minimum (3x the optimum) has a large basin,
+        # so at a tight proportion the metric is well below 1 and it recovers to 1
+        # once the band is wide enough to include both minima.
+        def fitness(x, y):
+            if (x, y) == (0, 0):
+                return 1.0
+            if (x, y) == (4, 4):
+                return 3.0
+            # Slope towards (4, 4): most of the landscape drains into the poor basin.
+            return 20.0 - x - y
+        report = proportion_of_centrality(_grid_cache(fitness, nx_=6, ny=6),
+                                          proportions=(0.05, 20.0))
+        assert report.value_at(0.05) < report.value_at(20.0)
+        assert report.value_at(20.0) == pytest.approx(1.0)
+        assert 0.0 < report.value_at(0.05) < 1.0
+
+    def test_monotone_in_proportion(self, pnpoly_cache_3090):
+        report = proportion_of_centrality(pnpoly_cache_3090,
+                                          proportions=(0.01, 0.05, 0.2, 0.5))
+        values = list(report.values)
+        assert values == sorted(values)
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert report.num_nodes == pnpoly_cache_3090.num_valid
+
+    def test_value_at_unknown_proportion(self):
+        report = proportion_of_centrality(_line_cache([2, 1]), proportions=(0.1,))
+        with pytest.raises(ReproError):
+            report.value_at(0.3)
+
+    def test_as_dict(self):
+        report = proportion_of_centrality(_line_cache([2, 1]), proportions=(0.1, 0.2))
+        assert set(report.as_dict()) == {0.1, 0.2}

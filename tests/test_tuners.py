@@ -1,0 +1,249 @@
+"""Tests of the optimizer portfolio and the shared ask/tell interface."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.parameter import Parameter
+from repro.core.problem import TuningProblem
+from repro.core.runner import run_matrix, run_repetitions, run_tuning
+from repro.core.searchspace import SearchSpace
+from repro.tuners import (
+    DifferentialEvolution,
+    GeneticAlgorithm,
+    GreedyILS,
+    GridSearch,
+    LocalSearch,
+    ParticleSwarm,
+    PortfolioTuner,
+    RandomSearch,
+    SimulatedAnnealing,
+    SurrogateSearch,
+    all_tuners,
+)
+from repro.tuners.adapters import (
+    KTTAdapter,
+    KernelTunerAdapter,
+    OptunaAdapter,
+    SMAC3Adapter,
+    available_external_frameworks,
+    objective_callback,
+    space_to_choices,
+)
+
+ALL_TUNER_CLASSES = [
+    RandomSearch,
+    GridSearch,
+    LocalSearch,
+    GreedyILS,
+    SimulatedAnnealing,
+    GeneticAlgorithm,
+    DifferentialEvolution,
+    ParticleSwarm,
+    SurrogateSearch,
+]
+
+
+def _quadratic_problem():
+    """A small separable problem with a unique known optimum at (16, 4, 8)."""
+    space = SearchSpace(
+        [Parameter("a", (1, 2, 4, 8, 16)),
+         Parameter("b", (1, 2, 3, 4, 5, 6)),
+         Parameter("c", (1, 2, 4, 8, 16, 32))],
+        ["a * b <= 64"],
+        name="quadratic",
+    )
+
+    def evaluate(cfg):
+        return 1.0 + (cfg["a"] - 16) ** 2 + (cfg["b"] - 4) ** 2 + (cfg["c"] - 8) ** 2
+
+    return TuningProblem("quadratic", space, evaluate, gpu="SIM")
+
+
+@pytest.fixture()
+def quadratic():
+    return _quadratic_problem()
+
+
+@pytest.fixture()
+def pnpoly_problem(pnpoly, gpu_3090):
+    return pnpoly.problem(gpu_3090)
+
+
+class TestTunerContract:
+    @pytest.mark.parametrize("tuner_cls", ALL_TUNER_CLASSES)
+    def test_respects_budget(self, tuner_cls, quadratic):
+        result = run_tuning(tuner_cls(seed=0), quadratic, max_evaluations=30)
+        assert result.num_evaluations == 30
+
+    @pytest.mark.parametrize("tuner_cls", ALL_TUNER_CLASSES)
+    def test_finds_valid_configuration(self, tuner_cls, quadratic):
+        result = run_tuning(tuner_cls(seed=1), quadratic, max_evaluations=40)
+        assert result.num_valid > 0
+        assert quadratic.space.is_valid(result.best_config)
+        assert math.isfinite(result.best_value)
+
+    @pytest.mark.parametrize("tuner_cls", ALL_TUNER_CLASSES)
+    def test_reproducible_given_seed(self, tuner_cls):
+        a = run_tuning(tuner_cls(seed=7), _quadratic_problem(), max_evaluations=25)
+        b = run_tuning(tuner_cls(seed=7), _quadratic_problem(), max_evaluations=25)
+        assert [o.value for o in a] == [o.value for o in b]
+
+    @pytest.mark.parametrize("tuner_cls",
+                             [cls for cls in ALL_TUNER_CLASSES if cls is not GridSearch])
+    def test_beats_single_random_draw_on_average(self, tuner_cls, quadratic):
+        # GridSearch is excluded: a truncated lexicographic sweep only covers the
+        # first corner of the space by design.
+        result = run_tuning(tuner_cls(seed=3), quadratic, max_evaluations=60)
+        # With 60 evaluations on a ~150-point valid space every optimizer should get
+        # far below the space's median objective (~200) and close to the optimum of 1.
+        assert result.best_value <= 40.0
+
+    @pytest.mark.parametrize("tuner_cls", ALL_TUNER_CLASSES)
+    def test_result_metadata_filled(self, tuner_cls, quadratic):
+        result = run_tuning(tuner_cls(seed=0), quadratic, max_evaluations=10)
+        assert result.benchmark == "quadratic"
+        assert result.gpu == "SIM"
+        assert result.tuner
+
+    def test_evaluate_outside_tune_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomSearch(seed=0).evaluate({"a": 1})
+
+
+class TestSpecificTuners:
+    def test_grid_search_is_deterministic_enumeration(self, quadratic):
+        result = run_tuning(GridSearch(), quadratic, max_evaluations=50)
+        values = [o.value for o in result.observations]
+        again = run_tuning(GridSearch(), _quadratic_problem(), max_evaluations=50)
+        assert values == [o.value for o in again.observations]
+
+    def test_grid_search_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            GridSearch(stride=0)
+
+    def test_random_search_without_replacement_unique(self, quadratic):
+        result = run_tuning(RandomSearch(seed=0), quadratic, max_evaluations=60)
+        assert result.unique_configs() == result.num_evaluations
+
+    def test_random_search_exhausts_small_space(self):
+        space = SearchSpace([Parameter("a", (1, 2, 3)), Parameter("b", (1, 2))])
+        problem = TuningProblem("tiny", space, lambda c: float(c["a"] + c["b"]))
+        result = run_tuning(RandomSearch(seed=0), problem, max_evaluations=100)
+        # Only 6 unique configurations exist; the tuner stops instead of spinning.
+        assert result.num_evaluations == 6
+
+    def test_local_search_finds_local_optimum_of_unimodal_problem(self, quadratic):
+        result = run_tuning(LocalSearch(seed=2, strategy="best"), quadratic,
+                            max_evaluations=120)
+        assert result.best_value == pytest.approx(1.0)
+
+    def test_local_search_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            LocalSearch(strategy="sideways")
+
+    def test_simulated_annealing_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(cooling_rate=1.5)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(initial_temperature=-1)
+
+    def test_genetic_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(population_size=1)
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(mutation_rate=2.0)
+
+    def test_differential_evolution_needs_four(self):
+        with pytest.raises(ValueError):
+            DifferentialEvolution(population_size=3)
+
+    def test_pso_swarm_size_validation(self):
+        with pytest.raises(ValueError):
+            ParticleSwarm(swarm_size=1)
+
+    def test_surrogate_uses_model_after_initial_samples(self, quadratic):
+        tuner = SurrogateSearch(seed=0, initial_samples=10, batch_size=4, candidate_pool=60,
+                                n_estimators=20)
+        result = run_tuning(tuner, quadratic, max_evaluations=40)
+        assert result.best_value <= 6.0
+
+    def test_portfolio_combines_members(self, quadratic):
+        portfolio = PortfolioTuner([RandomSearch(), LocalSearch(), GeneticAlgorithm()], seed=0)
+        result = run_tuning(portfolio, quadratic, max_evaluations=45)
+        assert result.num_evaluations == 45
+        assert "portfolio" in result.tuner
+
+    def test_portfolio_requires_members(self):
+        with pytest.raises(ValueError):
+            PortfolioTuner([])
+
+
+class TestOnRealBenchmark:
+    def test_all_registered_tuners_run_on_pnpoly(self, pnpoly_problem):
+        for name, factory in all_tuners().items():
+            pnpoly_problem.reset_cache()
+            result = run_tuning(factory(seed=0), pnpoly_problem, max_evaluations=25)
+            assert result.num_evaluations == 25, name
+            assert result.num_valid > 0, name
+
+    def test_tuners_improve_over_median_configuration(self, pnpoly, gpu_3090,
+                                                      pnpoly_cache_3090):
+        median = pnpoly_cache_3090.median()
+        problem = pnpoly.problem(gpu_3090)
+        for factory in (RandomSearch, GeneticAlgorithm, LocalSearch):
+            problem.reset_cache()
+            result = run_tuning(factory(seed=5), problem, max_evaluations=60)
+            assert result.best_value < median
+
+    def test_run_repetitions_and_matrix(self, pnpoly_problem):
+        repetitions = run_repetitions(RandomSearch, pnpoly_problem, repetitions=3,
+                                      max_evaluations=10, base_seed=0)
+        assert len(repetitions) == 3
+        assert all(r.num_evaluations == 10 for r in repetitions)
+        assert len({tuple(o.value for o in r) for r in repetitions}) == 3
+
+        matrix = run_matrix({"random": RandomSearch, "grid": GridSearch},
+                            {"pnpoly": pnpoly_problem}, max_evaluations=8)
+        assert set(matrix) == {("random", "pnpoly"), ("grid", "pnpoly")}
+
+
+class TestBudgetSemantics:
+    def test_simulated_time_budget_stops_early(self, pnpoly_problem):
+        budget = Budget(max_simulated_seconds=0.05, compile_overhead_seconds=1e-3)
+        result = run_tuning(RandomSearch(seed=0), pnpoly_problem, budget=budget)
+        assert 0 < result.num_evaluations < 60
+
+    def test_budget_object_is_not_mutated(self, quadratic):
+        budget = Budget(max_evaluations=10)
+        run_tuning(RandomSearch(seed=0), quadratic, budget=budget)
+        assert budget.evaluations_used == 0  # the runner works on a copy
+
+
+class TestAdapters:
+    def test_space_to_choices(self, quadratic):
+        choices = space_to_choices(quadratic)
+        assert choices["a"] == [1, 2, 4, 8, 16]
+        assert set(choices) == {"a", "b", "c"}
+
+    def test_objective_callback_handles_invalid(self, quadratic):
+        objective = objective_callback(quadratic)
+        assert objective({"a": 16, "b": 4, "c": 8}) == pytest.approx(1.0)
+        assert objective({"a": 16, "b": 6, "c": 8}) == math.inf  # violates a*b <= 64
+
+    def test_frameworks_reported_unavailable_offline(self):
+        availability = available_external_frameworks()
+        assert set(availability) == {"optuna", "smac3", "kernel_tuner", "ktt"}
+        # None of the external frameworks are installed in this environment.
+        assert not any(availability.values())
+
+    @pytest.mark.parametrize("adapter_cls", [OptunaAdapter, SMAC3Adapter,
+                                             KernelTunerAdapter, KTTAdapter])
+    def test_adapters_fall_back_to_in_repo_optimizers(self, adapter_cls, quadratic):
+        result = run_tuning(adapter_cls(seed=0), quadratic, max_evaluations=20)
+        assert result.num_evaluations == 20
+        assert result.num_valid > 0
