@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Entry point for the search-space engine perf suite.
+#
+#   scripts/run_perf.sh            run the full micro-benchmark harness and write
+#                                  BENCH_perf.json (scalar vs vectorized timings)
+#   scripts/run_perf.sh --smoke    run only the tier-2 perf smoke checks
+#                                  (pytest marker `perf`, generous wall-clock
+#                                  ceilings; fast enough for CI)
+#
+# Any further arguments are forwarded to the underlying command.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    shift
+    exec python -m pytest -m perf -q tests/test_perf_smoke.py "$@"
+fi
+exec python benchmarks/bench_perf_suite.py "$@"

@@ -93,6 +93,11 @@ class Campaign:
             benchmark = self.benchmarks[benchmark_name]
             gpu = self.gpus[gpu_name]
             gpu_index = sorted(self.gpus).index(gpu_name)
+            if not self.is_sampled(benchmark_name):
+                # Exhaustive campaigns enumerate the same feasible set once per GPU;
+                # priming the space's memoized feasible-index array makes every
+                # build after the first a pure array slice.
+                benchmark.space.feasible_indices()
             self._caches[key] = benchmark.build_cache(
                 gpu,
                 sample_size=self.campaign_sample_size(benchmark_name),

@@ -114,6 +114,13 @@ def space_size_table(benchmarks: Mapping[str, KernelBenchmark],
         cardinality = space.cardinality
 
         exact = cardinality <= enumeration_limit
+        if exact:
+            # Memoize the feasible-index array for the duration of this row even if
+            # the caller's enumeration limit exceeds the space's own threshold: the
+            # exact constrained count is then one array length, and the per-GPU
+            # validity enumeration below reuses the same feasible blocks instead of
+            # re-masking.  Released again below for spaces over the threshold.
+            space.feasible_indices(force=True)
         constrained = space.count_constrained(limit=None if exact else constrained_sample)
 
         if exact:
@@ -144,6 +151,9 @@ def space_size_table(benchmarks: Mapping[str, KernelBenchmark],
         reduced = reduced_space.cardinality
         reduce_constrained = reduced_space.count_constrained(
             limit=None if reduced <= enumeration_limit else constrained_sample)
+
+        if exact and cardinality > space.memoize_threshold:
+            space.release_feasible_memo()
 
         rows.append(SpaceSizeRow(
             benchmark=name,

@@ -106,6 +106,21 @@ class EvaluationCache:
         """Only the successfully measured configurations."""
         return [o for o in self._entries.values() if not o.is_failure]
 
+    def valid_arrays(self) -> tuple[list[dict[str, Any]], np.ndarray]:
+        """Configurations and runtimes of the valid entries, in one pass.
+
+        This is the array-native export the graph layer builds on: the configuration
+        list is aligned with the float runtime vector, ready to be turned into a digit
+        matrix by :meth:`~repro.core.searchspace.SearchSpace.digits_of_configs`.
+        """
+        configs: list[dict[str, Any]] = []
+        values: list[float] = []
+        for o in self._entries.values():
+            if not o.is_failure:
+                configs.append(dict(o.config))
+                values.append(o.value)
+        return configs, np.asarray(values, dtype=float)
+
     @property
     def num_valid(self) -> int:
         """Number of successful measurements."""

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.errors import ConstraintViolationError, InvalidConfigurationError
+from repro.core.vectorize import compile_vectorized
 
 __all__ = ["Constraint", "ConstraintSet"]
 
@@ -56,9 +59,17 @@ class Constraint:
 
     Notes
     -----
-    Expression strings are compiled once at construction time and evaluated with a
-    restricted namespace: only the configuration values and a small whitelist of
-    builtins (``min``, ``max``, ``abs``, ...) are visible.
+    Expression strings are compiled exactly once, at construction time, into *two*
+    evaluators that are cached on the instance for the constraint's lifetime:
+
+    * a scalar code object evaluated with a restricted namespace (only the
+      configuration values and a small whitelist of builtins -- ``min``, ``max``,
+      ``abs``, ... -- are visible), and
+    * where the expression stays within the vectorizable subset (see
+      :mod:`repro.core.vectorize`), a batch evaluator over named NumPy value columns
+      used by :meth:`satisfied_mask`.
+
+    Neither compilation ever happens per :meth:`is_satisfied` call.
     """
 
     def __init__(self, expression: str | Callable[[Mapping[str, Any]], bool],
@@ -68,12 +79,14 @@ class Constraint:
             self._func: Callable[[Mapping[str, Any]], bool] = expression
             self.expression = getattr(expression, "__name__", "<callable>")
             self._compiled = None
+            self._vectorized = None
         elif isinstance(expression, str):
             if not expression.strip():
                 raise InvalidConfigurationError("constraint expression must be non-empty")
             self.expression = expression
             self._compiled = compile(expression, "<constraint>", "eval")
             self._func = self._eval_expression
+            self._vectorized = compile_vectorized(expression)
         else:
             raise InvalidConfigurationError(
                 f"constraint must be a string or callable, got {type(expression)!r}")
@@ -103,6 +116,39 @@ class Constraint:
             return False
 
     __call__ = is_satisfied
+
+    @property
+    def is_vectorized(self) -> bool:
+        """True when a batch evaluator over value columns is available."""
+        return self._vectorized is not None
+
+    def satisfied_mask(self, columns: Mapping[str, Any], n: int) -> np.ndarray | None:
+        """Batch form of :meth:`is_satisfied` over named value columns.
+
+        Parameters
+        ----------
+        columns:
+            Mapping of parameter name to a length-``n`` value array; scalar entries
+            broadcast (used by reduced spaces to pin frozen parameters).
+        n:
+            Number of rows in the batch.
+
+        Returns
+        -------
+        np.ndarray | None
+            Boolean mask of satisfied rows, element-wise identical to calling
+            :meth:`is_satisfied` per row -- or ``None`` when no vectorized evaluator
+            applies (opaque callables, unsupported syntax, unexpected runtime error)
+            and the caller must use the scalar path.
+        """
+        if self._vectorized is None:
+            return None
+        try:
+            return self._vectorized(columns, n)
+        except KeyError as exc:
+            raise InvalidConfigurationError(
+                f"constraint {self.expression!r} references missing parameter {exc}"
+            ) from None
 
     # ------------------------------------------------------------------ serialization
 
@@ -158,6 +204,56 @@ class ConstraintSet:
         return all(c.is_satisfied(config) for c in self._constraints)
 
     __call__ = is_satisfied
+
+    def satisfied_mask(self, columns: Mapping[str, Any], n: int | None = None,
+                       configs: Sequence[Mapping[str, Any]] | None = None) -> np.ndarray:
+        """Boolean mask of configurations satisfying *every* constraint.
+
+        Vectorizable constraints evaluate in one NumPy pass over ``columns``;
+        the rest (opaque callables) fall back to scalar evaluation, but only on the
+        rows that survived the vectorized constraints.
+
+        Parameters
+        ----------
+        columns:
+            Mapping of parameter name to a length-``n`` value array (scalars
+            broadcast).
+        n:
+            Batch size; inferred from the first array-valued column if omitted.
+        configs:
+            Optional row-indexable source of configuration mappings for the scalar
+            fallback; when omitted, per-row dictionaries are assembled from
+            ``columns``.
+        """
+        if n is None:
+            n = next(len(v) for v in columns.values()
+                     if isinstance(v, np.ndarray) and v.ndim == 1)
+        mask = np.ones(n, dtype=bool)
+        deferred: list[Constraint] = []
+        for constraint in self._constraints:
+            vec = constraint.satisfied_mask(columns, n)
+            if vec is None:
+                deferred.append(constraint)
+            else:
+                mask &= vec
+        if deferred and mask.any():
+            rows = np.nonzero(mask)[0]
+            if configs is None:
+                names = list(columns)
+                cols = [columns[k] for k in names]
+                def row_config(i: int) -> dict[str, Any]:
+                    return {k: (col[i] if isinstance(col, np.ndarray) and col.ndim else col)
+                            for k, col in zip(names, cols)}
+            else:
+                def row_config(i: int) -> Mapping[str, Any]:
+                    return configs[i]
+            for i in rows.tolist():
+                config = row_config(i)
+                for constraint in deferred:
+                    if not constraint.is_satisfied(config):
+                        mask[i] = False
+                        break
+        return mask
 
     def violated(self, config: Mapping[str, Any]) -> tuple[str, ...]:
         """Expressions of all constraints violated by ``config`` (empty if valid)."""

@@ -172,6 +172,54 @@ class Parameter:
         """Draw the index of an allowed value uniformly at random."""
         return int(rng.integers(0, len(self.values)))
 
+    # ------------------------------------------------------------------ columnar views
+
+    def values_array(self) -> np.ndarray:
+        """The allowed values as a NumPy array suitable for batch constraint math.
+
+        Numeric parameters use their natural dtype (``int64``/``float64``) so that
+        vectorized constraint expressions compute exactly like the scalar path; all
+        other value types fall back to ``object`` arrays, which preserve the original
+        Python objects element-wise.  The array is built once and cached (the class is
+        frozen, so the value tuple can never change).
+        """
+        cached = self.__dict__.get("_values_array")
+        if cached is None:
+            if self.is_numeric:
+                cached = np.asarray(self.values)
+            else:
+                cached = np.empty(len(self.values), dtype=object)
+                cached[:] = self.values
+            cached.setflags(write=False)
+            object.__setattr__(self, "_values_array", cached)
+        return cached
+
+    def values_object_array(self) -> np.ndarray:
+        """The allowed values as an ``object`` array holding the original objects.
+
+        Indexing this array with a digit vector yields the exact Python values the
+        parameter was declared with (no NumPy scalar wrapping), which is what
+        configuration dictionaries handed to users and serializers must contain.
+        """
+        cached = self.__dict__.get("_values_object_array")
+        if cached is None:
+            cached = np.empty(len(self.values), dtype=object)
+            cached[:] = self.values
+            cached.setflags(write=False)
+            object.__setattr__(self, "_values_object_array", cached)
+        return cached
+
+    def digits_of(self, values: Sequence[Any]) -> np.ndarray:
+        """Vector form of :meth:`index_of`: map many values to their digit positions."""
+        index = self._index
+        try:
+            return np.fromiter((index[v] for v in values), dtype=np.int64,
+                               count=len(values))
+        except KeyError as exc:
+            raise InvalidConfigurationError(
+                f"{exc.args[0]!r} is not an allowed value of parameter {self.name!r} "
+                f"(allowed: {self.values})") from None
+
     # ---------------------------------------------------------------------- encoding
 
     def numeric_values(self) -> np.ndarray:

@@ -11,29 +11,50 @@ The :class:`SearchSpace` is the central data structure of the suite.  It is shar
 Design notes
 ------------
 
-*Mixed-radix indexing.*  Every point of the (unconstrained) Cartesian product is
+*Columnar index engine.*  Every point of the (unconstrained) Cartesian product is
 identified by a single integer in ``[0, cardinality)`` using mixed-radix encoding with
-the last parameter varying fastest.  This makes exhaustive enumeration, reproducible
-sampling of gigantic spaces (Dedispersion has 1.2e8 points) and cache keys cheap and
-deterministic, without ever materialising the product.
+the last parameter varying fastest.  The codec is *batch-first*:
+:meth:`SearchSpace.indices_to_digits` turns an index vector into an ``(n, d)`` digit
+matrix with two array operations, :meth:`SearchSpace.digits_to_indices` inverts it with
+one matrix--vector product, and per-parameter *value columns* (cached NumPy arrays of
+each parameter's allowed values) turn digit columns into value columns without touching
+Python objects.  The scalar :meth:`config_at`/:meth:`index_of` remain as the one-point
+convenience wrappers; every hot path (sampling, enumeration, counting, graph
+construction) runs on index blocks.
+
+*Constraint compilation contract.*  String constraint expressions are compiled once,
+at :class:`~repro.core.constraints.Constraint` construction, into both a scalar code
+object and -- where the expression stays inside the vectorizable subset of
+:mod:`repro.core.vectorize` -- a batch evaluator over named value columns.
+:meth:`SearchSpace.satisfied_mask` applies the batch evaluators to a whole index block
+at once and falls back to scalar evaluation only for opaque callables (and only on
+rows the vectorized constraints did not already reject).  The two paths are
+element-wise equivalent by contract: an expression that raises marks the row violated,
+exactly like the scalar evaluator.
+
+*Feasible-set memoization.*  For spaces whose raw cardinality is at most
+:attr:`SearchSpace.memoize_threshold` (default :data:`MEMOIZE_THRESHOLD_DEFAULT`), the
+sorted array of constraint-satisfying indices is computed once on demand and cached.
+The memo makes exact ``count_constrained`` free, turns enumeration into array slicing,
+lets :meth:`sample` detect infeasible requests up front, and guarantees sampling
+success whenever enough feasible points exist.  Spaces above the threshold (Hotspot,
+Dedispersion, Expdist) stream index blocks through the mask instead of materialising
+anything.
+
+*Reproducibility.*  Batched rejection sampling draws index blocks sized exactly to the
+number of configurations still needed, which makes the consumed random stream -- and
+therefore every sampled configuration and everything downstream of a shared generator
+-- identical to drawing one index at a time.
 
 *Neighbourhoods.*  Two neighbourhood structures are provided, matching the two used in
-the literature the paper builds on:
-
-* ``"adjacent"`` -- one step up/down in each parameter's ordered value list (what most
-  local-search tuners use);
-* ``"hamming"`` -- all configurations that differ in exactly one parameter, regardless
-  of distance in the value list (what Schoonhoven et al.'s fitness-flow graph uses).
-
-*Vectorised encoding.*  :meth:`SearchSpace.encode_batch` converts a list of
-configurations into a dense ``float64`` feature matrix in one NumPy pass per parameter;
-this is the hot path feeding the ML substrate, so it avoids per-element Python work
-where it can (see the HPC guide: vectorise the inner loop, not the outer API).
+the literature the paper builds on: ``"adjacent"`` (one step up/down in each
+parameter's ordered value list) and ``"hamming"`` (all configurations differing in
+exactly one parameter, the fitness-flow-graph neighbourhood of Schoonhoven et al.).
+Neighbour validity is checked as one mask over the candidate index block.
 """
 
 from __future__ import annotations
 
-import itertools
 import math
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -46,9 +67,18 @@ from repro.core.errors import (
 )
 from repro.core.parameter import Parameter
 
-__all__ = ["SearchSpace", "config_key"]
+__all__ = ["SearchSpace", "config_key", "MEMOIZE_THRESHOLD_DEFAULT"]
 
 Config = dict[str, Any]
+
+#: Default ceiling on the raw cardinality below which the feasible-index array is
+#: memoized (int64 indices: 1e6 points cost at most ~8 MB).  Covers every space the
+#: paper enumerates exhaustively (GEMM's 82 944 is the largest) with ample headroom,
+#: while the sampled spaces (1e7--1.2e8 points) stay streaming-only.
+MEMOIZE_THRESHOLD_DEFAULT: int = 1_000_000
+
+#: Index-block length used by chunked enumeration, counting and masking.
+_CHUNK: int = 1 << 17
 
 
 def config_key(config: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:
@@ -69,11 +99,14 @@ class SearchSpace:
         Optional constraints restricting the valid subset of the Cartesian product.
     name:
         Optional label used in reports.
+    memoize_threshold:
+        Cardinality ceiling for feasible-set memoization
+        (default :data:`MEMOIZE_THRESHOLD_DEFAULT`).
     """
 
     def __init__(self, parameters: Sequence[Parameter],
                  constraints: ConstraintSet | Iterable[Constraint | str | Callable] | None = None,
-                 name: str = ""):
+                 name: str = "", memoize_threshold: int | None = None):
         params = list(parameters)
         if not params:
             raise EmptySearchSpaceError("a search space needs at least one parameter")
@@ -95,7 +128,17 @@ class SearchSpace:
         for i in range(len(cards) - 2, -1, -1):
             place[i] = place[i + 1] * cards[i + 1]
         self._place_values: tuple[int, ...] = tuple(place)
-        self._cardinality: int = int(np.prod([1])) if not cards else math.prod(cards)
+        self._cardinality: int = math.prod(cards)
+        # Columnar engine state: radix/place vectors and per-parameter value columns.
+        self._radices = np.asarray(cards, dtype=np.int64)
+        self._places = np.asarray(place, dtype=np.int64)
+        self._value_columns: tuple[np.ndarray, ...] = tuple(
+            p.values_array() for p in self._parameters)
+        self._value_objects: tuple[np.ndarray, ...] = tuple(
+            p.values_object_array() for p in self._parameters)
+        self.memoize_threshold = (MEMOIZE_THRESHOLD_DEFAULT if memoize_threshold is None
+                                  else int(memoize_threshold))
+        self._feasible: np.ndarray | None = None
 
     # ------------------------------------------------------------------ basic queries
 
@@ -123,6 +166,11 @@ class SearchSpace:
     def dimensions(self) -> int:
         """Number of tunable parameters."""
         return len(self._parameters)
+
+    @property
+    def place_values(self) -> tuple[int, ...]:
+        """Mixed-radix place value of each parameter (last parameter fastest)."""
+        return self._place_values
 
     def __len__(self) -> int:
         return self._cardinality
@@ -189,11 +237,164 @@ class SearchSpace:
             config[p.name] = p.value_at(digit)
         return config
 
+    # ----------------------------------------------------------------- batch codecs
+
+    def indices_to_digits(self, indices: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Mixed-radix digit matrix ``(n, d)`` of an index vector (batch codec)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.ndim != 1:
+            idx = idx.ravel()
+        if idx.size and (idx.min() < 0 or idx.max() >= self._cardinality):
+            raise InvalidConfigurationError(
+                f"indices out of range [0, {self._cardinality})")
+        return (idx[:, None] // self._places) % self._radices
+
+    def digits_to_indices(self, digits: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`indices_to_digits` (one matrix--vector product)."""
+        d = np.asarray(digits, dtype=np.int64)
+        return d @ self._places
+
+    def digits_of_configs(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Digit matrix of configuration mappings (vector form of per-value lookup)."""
+        n = len(configs)
+        out = np.empty((n, self.dimensions), dtype=np.int64)
+        for j, p in enumerate(self._parameters):
+            name = p.name
+            try:
+                out[:, j] = p.digits_of([c[name] for c in configs])
+            except KeyError:
+                raise InvalidConfigurationError(
+                    f"configuration missing parameter {name!r}") from None
+        return out
+
+    def indices_of_configs(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Mixed-radix indices of many configurations at once."""
+        return self.digits_to_indices(self.digits_of_configs(configs))
+
+    def columns_at(self, indices: np.ndarray | Sequence[int], *,
+                   digits: np.ndarray | None = None) -> dict[str, np.ndarray]:
+        """Named value columns of an index block (the constraint-evaluation view)."""
+        if digits is None:
+            digits = self.indices_to_digits(indices)
+        return {p.name: col[digits[:, j]]
+                for j, (p, col) in enumerate(zip(self._parameters, self._value_columns))}
+
+    def configs_at(self, indices: np.ndarray | Sequence[int], *,
+                   digits: np.ndarray | None = None) -> list[Config]:
+        """Configuration dictionaries of an index block (original Python values)."""
+        if digits is None:
+            digits = self.indices_to_digits(indices)
+        names = self.parameter_names
+        cols = [col[digits[:, j]] for j, col in enumerate(self._value_objects)]
+        return [dict(zip(names, row)) for row in zip(*cols)]
+
     def indices_to_configs(self, indices: Iterable[int]) -> list[Config]:
         """Vector form of :meth:`config_at` over many indices."""
-        return [self.config_at(int(i)) for i in indices]
+        idx = np.fromiter((int(i) for i in indices), dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self._cardinality):
+            raise InvalidConfigurationError(
+                f"indices out of range [0, {self._cardinality})")
+        return self.configs_at(idx)
+
+    # ----------------------------------------------------------------- feasibility
+
+    def satisfied_mask(self, indices: np.ndarray | Sequence[int] | None = None, *,
+                       digits: np.ndarray | None = None) -> np.ndarray:
+        """Constraint mask of an index block: ``mask[i]`` iff point ``i`` is feasible.
+
+        Element-wise equivalent to calling ``constraints.is_satisfied(config_at(i))``
+        per index, evaluated in one NumPy pass per vectorized constraint.
+        """
+        if digits is None:
+            digits = self.indices_to_digits(indices)
+        n = digits.shape[0]
+        if not len(self._constraints):
+            return np.ones(n, dtype=bool)
+        columns = self.columns_at(None, digits=digits)
+        return self._constraints.satisfied_mask(
+            columns, n, configs=_LazyConfigs(self, digits))
+
+    def feasible_indices(self, force: bool = False) -> np.ndarray | None:
+        """Sorted array of all constraint-satisfying indices, memoized.
+
+        Returns None (without computing anything) when the raw cardinality exceeds
+        :attr:`memoize_threshold` and ``force`` is False.  The memo is what makes
+        exact constrained counts free and sampling failure-proof on small spaces.
+        """
+        if self._feasible is not None:
+            return self._feasible
+        if self._cardinality > self.memoize_threshold and not force:
+            return None
+        blocks = [block for block in self._iter_feasible_blocks()]
+        feasible = (np.concatenate(blocks) if blocks
+                    else np.empty(0, dtype=np.int64))
+        if self._cardinality <= self.memoize_threshold or force:
+            self._feasible = feasible
+        return feasible
+
+    def release_feasible_memo(self) -> None:
+        """Drop the memoized feasible-index array (e.g. after a forced computation
+        on a space larger than :attr:`memoize_threshold`)."""
+        self._feasible = None
+
+    def _digits_for_range(self, start: int, stop: int) -> np.ndarray:
+        """Digit matrix of the contiguous index range ``[start, stop)``.
+
+        Digit columns of consecutive indices are periodic (period = radix x place),
+        so most columns are assembled by tile/repeat instead of integer division --
+        measurably faster than the general codec on full-space sweeps.  Columns whose
+        period dwarfs the range fall back to the division codec to bound memory.
+        """
+        n = stop - start
+        out = np.empty((n, self.dimensions), dtype=np.int64)
+        base = None
+        for j, (radix, place) in enumerate(zip(self._radices.tolist(),
+                                               self._places.tolist())):
+            period = radix * place
+            if period <= 4 * n:
+                offset = start % period
+                reps = -(-(offset + n) // period)
+                pattern = np.repeat(np.arange(radix, dtype=np.int64), place)
+                out[:, j] = np.tile(pattern, reps)[offset:offset + n]
+            else:
+                if base is None:
+                    base = np.arange(start, stop, dtype=np.int64)
+                out[:, j] = (base // place) % radix
+        return out
+
+    def _iter_feasible_blocks(self, chunk_size: int = _CHUNK) -> Iterator[np.ndarray]:
+        """Stream ascending blocks of feasible indices without memoization."""
+        if not len(self._constraints):
+            for start in range(0, self._cardinality, chunk_size):
+                yield np.arange(start, min(start + chunk_size, self._cardinality),
+                                dtype=np.int64)
+            return
+        for start in range(0, self._cardinality, chunk_size):
+            stop = min(start + chunk_size, self._cardinality)
+            mask = self.satisfied_mask(None, digits=self._digits_for_range(start, stop))
+            if mask.any():
+                yield np.arange(start, stop, dtype=np.int64)[mask]
 
     # -------------------------------------------------------------------- enumeration
+
+    def enumerate_chunked(self, valid_only: bool = True,
+                          chunk_size: int = _CHUNK) -> Iterator[np.ndarray]:
+        """Stream index blocks in ascending mixed-radix order.
+
+        With ``valid_only`` (default) only feasible indices are yielded; a memoized
+        feasible set is sliced directly instead of re-masking.
+        """
+        if not valid_only or not len(self._constraints):
+            for start in range(0, self._cardinality, chunk_size):
+                yield np.arange(start, min(start + chunk_size, self._cardinality),
+                                dtype=np.int64)
+            return
+        feasible = self.feasible_indices()
+        if feasible is not None:
+            for start in range(0, feasible.size, chunk_size):
+                yield feasible[start:start + chunk_size]
+            return
+        yield from self._iter_feasible_blocks(chunk_size)
 
     def enumerate(self, valid_only: bool = True) -> Iterator[Config]:
         """Yield configurations in mixed-radix order.
@@ -206,12 +407,8 @@ class SearchSpace:
             Dedispersion, Expdist) is possible but typically undesirable; use
             :meth:`sample` instead, as the paper does.
         """
-        value_lists = [p.values for p in self._parameters]
-        names = self.parameter_names
-        for combo in itertools.product(*value_lists):
-            config = dict(zip(names, combo))
-            if not valid_only or self._constraints.is_satisfied(config):
-                yield config
+        for block in self.enumerate_chunked(valid_only=valid_only):
+            yield from self.configs_at(block)
 
     def enumerate_all(self) -> Iterator[Config]:
         """Yield every point of the Cartesian product, ignoring constraints."""
@@ -233,11 +430,105 @@ class SearchSpace:
         if limit is not None and self._cardinality > limit:
             rng = np.random.default_rng(1234567)
             idx = rng.integers(0, self._cardinality, size=limit)
-            hits = sum(1 for i in idx if self._constraints.is_satisfied(self.config_at(int(i))))
+            hits = int(self.satisfied_mask(idx).sum())
             return int(round(self._cardinality * hits / limit))
-        return sum(1 for _ in self.enumerate(valid_only=True))
+        feasible = self.feasible_indices()
+        if feasible is not None:
+            return int(feasible.size)
+        return sum(int(block.size) for block in self._iter_feasible_blocks())
 
     # ----------------------------------------------------------------------- sampling
+
+    def sample_indices(self, n: int, rng: np.random.Generator | int | None = None,
+                       valid_only: bool = True, unique: bool = True,
+                       max_attempts_factor: int = 200) -> np.ndarray:
+        """Draw ``n`` random mixed-radix indices (the batch form of :meth:`sample`).
+
+        Rejection sampling proceeds in blocks sized exactly to the number of indices
+        still needed, so the random stream consumed is identical to drawing one index
+        at a time: the same seed yields the same sample the scalar implementation
+        produced, and a generator shared with the caller stays in sync.
+
+        When the memoized feasible-index array exists, an impossible request
+        (``n`` greater than the number of feasible points) fails immediately, and a
+        request that merely exhausts its rejection patience is completed exactly from
+        the remaining feasible indices -- no spurious
+        :class:`~repro.core.errors.EmptySearchSpaceError` is possible.
+        """
+        rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        if n < 0:
+            raise InvalidConfigurationError("sample size must be non-negative")
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        feasible = self._feasible if valid_only else None
+        if feasible is not None and unique and n > feasible.size:
+            raise EmptySearchSpaceError(
+                f"cannot draw {n} unique valid configurations from a space with only "
+                f"{feasible.size} feasible points "
+                f"(feasible fraction {feasible.size / self._cardinality:.3%} of "
+                f"cardinality {self._cardinality})")
+        max_attempts = max(max_attempts_factor * n, 1000)
+        out: list[int] = []
+        seen: set[int] = set()
+        attempts = 0
+        checked = 0
+        passed = 0
+        while len(out) < n:
+            need = min(n - len(out), max_attempts - attempts)
+            if need <= 0:
+                if valid_only and feasible is None:
+                    # Compute the memo now if the space is small enough: patience has
+                    # already run out, so the one-off sweep is cheaper than failing,
+                    # and it turns the error below into a guaranteed completion.
+                    feasible = self.feasible_indices()
+                if feasible is not None and unique:
+                    if n > feasible.size:
+                        raise EmptySearchSpaceError(
+                            f"cannot draw {n} unique valid configurations from a "
+                            f"space with only {feasible.size} feasible points "
+                            f"(feasible fraction "
+                            f"{feasible.size / self._cardinality:.3%} of "
+                            f"cardinality {self._cardinality})")
+                    # Patience exhausted but success is guaranteed: finish the draw
+                    # exactly from the not-yet-taken feasible indices.
+                    remaining = feasible[~np.isin(feasible,
+                                                  np.fromiter(seen, dtype=np.int64,
+                                                              count=len(seen)))]
+                    extra = rng.permutation(remaining)[: n - len(out)]
+                    out.extend(int(i) for i in extra)
+                    break
+                observed = (f"; observed feasible fraction {passed / checked:.3%} "
+                            f"over {checked} draws" if checked else "")
+                raise EmptySearchSpaceError(
+                    f"could not draw {n} {'unique ' if unique else ''}valid configurations "
+                    f"from space of cardinality {self._cardinality} "
+                    f"after {attempts} attempts (found {len(out)}){observed}")
+            draws = rng.integers(0, self._cardinality, size=need)
+            attempts += need
+            if valid_only:
+                if feasible is not None:
+                    if feasible.size:
+                        pos = np.searchsorted(feasible, draws)
+                        pos[pos == feasible.size] = 0
+                        ok = feasible[pos] == draws
+                    else:
+                        ok = np.zeros(need, dtype=bool)
+                else:
+                    ok = self.satisfied_mask(draws)
+                checked += need
+                passed += int(ok.sum())
+                good_list = ok.tolist()
+            else:
+                good_list = None
+            for k, idx in enumerate(draws.tolist()):
+                if good_list is not None and not good_list[k]:
+                    continue
+                if unique:
+                    if idx in seen:
+                        continue
+                    seen.add(idx)
+                out.append(idx)
+        return np.asarray(out[:n], dtype=np.int64)
 
     def sample(self, n: int, rng: np.random.Generator | int | None = None,
                valid_only: bool = True, unique: bool = True,
@@ -253,33 +544,13 @@ class SearchSpace:
         ------
         EmptySearchSpaceError
             If not enough (unique, valid) configurations can be found within
-            ``max_attempts_factor * n`` draws.
+            ``max_attempts_factor * n`` draws and the feasible set is not memoized
+            (with a memoized feasible set the draw either fails immediately --
+            ``n`` exceeds the number of feasible points -- or always succeeds).
         """
-        rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
-        if n < 0:
-            raise InvalidConfigurationError("sample size must be non-negative")
-        if n == 0:
-            return []
-        out: list[Config] = []
-        seen: set[int] = set()
-        attempts = 0
-        max_attempts = max(max_attempts_factor * n, 1000)
-        while len(out) < n:
-            attempts += 1
-            if attempts > max_attempts:
-                raise EmptySearchSpaceError(
-                    f"could not draw {n} {'unique ' if unique else ''}valid configurations "
-                    f"from space of cardinality {self._cardinality} "
-                    f"after {attempts - 1} attempts (found {len(out)})")
-            idx = int(rng.integers(0, self._cardinality))
-            if unique and idx in seen:
-                continue
-            config = self.config_at(idx)
-            if valid_only and not self._constraints.is_satisfied(config):
-                continue
-            seen.add(idx)
-            out.append(config)
-        return out
+        indices = self.sample_indices(n, rng=rng, valid_only=valid_only, unique=unique,
+                                      max_attempts_factor=max_attempts_factor)
+        return self.configs_at(indices)
 
     def sample_one(self, rng: np.random.Generator | int | None = None,
                    valid_only: bool = True) -> Config:
@@ -305,24 +576,38 @@ class SearchSpace:
             fitness-flow-graph neighbourhood).  ``"adjacent"`` -- only the next
             smaller/larger value of each parameter.
         valid_only:
-            Drop neighbours that violate the constraints.
+            Drop neighbours that violate the constraints (checked as one mask over
+            the whole candidate block).
         """
         self.validate_membership(config)
         if strategy not in ("hamming", "adjacent"):
             raise InvalidConfigurationError(
                 f"unknown neighbourhood strategy {strategy!r} (use 'hamming' or 'adjacent')")
-        out: list[Config] = []
+        candidates: list[tuple[str, Any]] = []
         for p in self._parameters:
             current = config[p.name]
             if strategy == "hamming":
-                candidates = p.all_other_values(current)
+                others = p.all_other_values(current)
             else:
-                candidates = p.neighbors(current)
-            for v in candidates:
+                others = p.neighbors(current)
+            candidates.extend((p.name, v) for v in others)
+        if not candidates:
+            return []
+        if valid_only and len(self._constraints):
+            base = self.indices_to_digits([self.index_of(config)])
+            digits = np.repeat(base, len(candidates), axis=0)
+            col_of = {p.name: j for j, p in enumerate(self._parameters)}
+            for row, (name, value) in enumerate(candidates):
+                digits[row, col_of[name]] = self._by_name[name].index_of(value)
+            keep = self.satisfied_mask(None, digits=digits)
+        else:
+            keep = np.ones(len(candidates), dtype=bool)
+        out: list[Config] = []
+        for ok, (name, value) in zip(keep.tolist(), candidates):
+            if ok:
                 neighbor = dict(config)
-                neighbor[p.name] = v
-                if not valid_only or self._constraints.is_satisfied(neighbor):
-                    out.append(neighbor)
+                neighbor[name] = value
+                out.append(neighbor)
         return out
 
     def random_neighbor(self, config: Mapping[str, Any], rng: np.random.Generator,
@@ -342,6 +627,8 @@ class SearchSpace:
         The remaining parameters are frozen to the values in ``fixed`` (default: their
         declared defaults) and folded into the constraint evaluation, so the
         reduce-constrained count of Table VIII can be computed on the reduced space.
+        Frozen parameters enter the vectorized constraint evaluators as broadcast
+        scalar columns, so reduced spaces count and sample as fast as full ones.
         """
         keep_set = set(keep)
         unknown = keep_set - set(self._by_name)
@@ -366,11 +653,20 @@ class SearchSpace:
                 return _c.is_satisfied(full)
             wrapped = Constraint(check, description=constraint.description)
             wrapped.expression = constraint.expression
+            base_vec = constraint._vectorized
+            if base_vec is not None:
+                def vectorized(columns: Mapping[str, Any], n: int,
+                               _bv=base_vec, _fx=fixed_values):
+                    full_columns = dict(_fx)
+                    full_columns.update(columns)
+                    return _bv(full_columns, n)
+                wrapped._vectorized = vectorized
             return wrapped
 
         reduced_constraints = ConstraintSet(_wrap(c) for c in self._constraints)
         return SearchSpace(kept_params, reduced_constraints,
-                           name=name or (self.name + "_reduced" if self.name else "reduced"))
+                           name=name or (self.name + "_reduced" if self.name else "reduced"),
+                           memoize_threshold=self.memoize_threshold)
 
     # --------------------------------------------------------------------- encoding
 
@@ -426,3 +722,27 @@ class SearchSpace:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SearchSpace(name={self.name!r}, dimensions={self.dimensions}, "
                 f"cardinality={self.cardinality})")
+
+
+class _LazyConfigs:
+    """Row-indexable view of a digit matrix that builds config dicts on demand.
+
+    Handed to :meth:`ConstraintSet.satisfied_mask` so the scalar fallback for opaque
+    callables sees original Python values without the batch path ever materialising
+    configuration dictionaries for rows it never touches.
+    """
+
+    __slots__ = ("_space", "_digits")
+
+    def __init__(self, space: SearchSpace, digits: np.ndarray):
+        self._space = space
+        self._digits = digits
+
+    def __len__(self) -> int:
+        return self._digits.shape[0]
+
+    def __getitem__(self, i: int) -> Config:
+        row = self._digits[i]
+        return {p.name: values[row[j]]
+                for j, (p, values) in enumerate(zip(self._space._parameters,
+                                                    self._space._value_objects))}

@@ -83,7 +83,9 @@ def proportion_of_centrality(cache: EvaluationCache,
         built from the cache when omitted.
     """
     graph = ffg if ffg is not None else build_ffg(cache)
-    ranks = pagerank(graph.adjacency, damping=damping)
+    # The FFG is unweighted, so the raw (indptr, indices) arrays are all PageRank
+    # needs -- no per-node structures, no matrix copy.
+    ranks = pagerank(graph.csr_arrays(), damping=damping)
     minima = graph.local_minima()
     if minima.size == 0:
         raise ReproError("fitness flow graph has no local minima; "

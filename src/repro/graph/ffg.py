@@ -11,6 +11,13 @@ cache's valid configurations and the neighbourhood is Hamming distance 1 restric
 configurations that are themselves present in the cache (for exhaustive caches this is
 the true neighbourhood; for sampled caches it is the induced subgraph, which is how the
 metric degrades gracefully when exhaustive data is unavailable).
+
+Construction is pure index arithmetic: every cached configuration becomes one
+mixed-radix index, and the Hamming-1 neighbours along a parameter are the index plus a
+digit offset times that parameter's place value.  Candidate neighbour indices for *all*
+nodes and all values of a parameter form one ``(n, v)`` matrix that is resolved against
+the sorted node-index table with a single :func:`numpy.searchsorted` -- no per-config
+dictionaries, no Python inner loops.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.core.cache import EvaluationCache
-from repro.core.errors import ReproError
+from repro.core.errors import InvalidConfigurationError, ReproError
 from repro.core.searchspace import config_key
 
 __all__ = ["FitnessFlowGraph", "build_ffg"]
@@ -61,9 +68,17 @@ class FitnessFlowGraph:
         """Number of directed improvement edges."""
         return int(self.adjacency.nnz)
 
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The raw ``(indptr, indices)`` pair of the adjacency structure.
+
+        This is the array-native view :func:`repro.graph.pagerank.pagerank` accepts
+        directly, avoiding any per-node Python structures.
+        """
+        return self.adjacency.indptr, self.adjacency.indices
+
     def out_degrees(self) -> np.ndarray:
-        """Number of improving neighbours of every node."""
-        return np.asarray(self.adjacency.sum(axis=1)).ravel()
+        """Number of improving neighbours of every node (one ``indptr`` difference)."""
+        return np.diff(self.adjacency.indptr)
 
     def local_minima(self) -> np.ndarray:
         """Indices of nodes with no improving neighbour (the walk's absorbing states)."""
@@ -82,27 +97,49 @@ class FitnessFlowGraph:
         return minima[self.fitness[minima] <= threshold]
 
 
-def build_ffg(cache: EvaluationCache) -> FitnessFlowGraph:
-    """Build the fitness flow graph of a campaign cache.
+def _edges_vectorized(space: Any, configs: list[dict[str, Any]],
+                      fitness: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Improvement edges by digit-offset arithmetic against a sorted index table."""
+    n = len(configs)
+    digits = space.digits_of_configs(configs)
+    places = np.asarray(space.place_values, dtype=np.int64)
+    node_index = space.digits_to_indices(digits)
 
-    Complexity is ``O(n * d * v)`` where ``n`` is the number of valid configurations,
-    ``d`` the number of parameters and ``v`` the mean parameter cardinality -- every
-    potential Hamming-1 neighbour is looked up in a hash map of the cache.
-    """
-    observations = cache.valid_observations()
-    if not observations:
-        raise ReproError(f"cache {cache.benchmark}/{cache.gpu} has no valid entries")
+    order = np.argsort(node_index, kind="stable")
+    sorted_index = node_index[order]
 
-    configs = [dict(o.config) for o in observations]
-    fitness = np.array([o.value for o in observations], dtype=float)
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    for j, parameter in enumerate(space.parameters):
+        v = parameter.cardinality
+        if v < 2:
+            continue
+        own_digit = digits[:, j][:, None]                       # (n, 1)
+        all_digits = np.arange(v, dtype=np.int64)[None, :]      # (1, v)
+        candidates = node_index[:, None] + (all_digits - own_digit) * places[j]
+        pos = np.searchsorted(sorted_index, candidates)
+        pos[pos == n] = 0
+        neighbor = order[pos]                                   # node id where found
+        found = (sorted_index[pos] == candidates) & (all_digits != own_digit)
+        improving = found & (fitness[neighbor] < fitness[:, None])
+        r, c = np.nonzero(improving)
+        rows.append(r)
+        cols.append(neighbor[r, c])
+    if rows:
+        return np.concatenate(rows), np.concatenate(cols)
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+
+def _edges_scalar(space: Any, configs: list[dict[str, Any]],
+                  fitness: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Reference hash-map construction (kept for caches whose configurations are not
+    members of the space's Cartesian product, and as the benchmark baseline)."""
     index_of = {config_key(c): i for i, c in enumerate(configs)}
-    parameters = cache.space.parameters
-
     rows: list[int] = []
     cols: list[int] = []
     for i, config in enumerate(configs):
         fi = fitness[i]
-        for parameter in parameters:
+        for parameter in space.parameters:
             current = config[parameter.name]
             for other in parameter.all_other_values(current):
                 neighbor = dict(config)
@@ -111,6 +148,41 @@ def build_ffg(cache: EvaluationCache) -> FitnessFlowGraph:
                 if j is not None and fitness[j] < fi:
                     rows.append(i)
                     cols.append(j)
+    return np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)
+
+
+def build_ffg(cache: EvaluationCache, method: str = "auto") -> FitnessFlowGraph:
+    """Build the fitness flow graph of a campaign cache.
+
+    Parameters
+    ----------
+    cache:
+        The campaign data (valid entries become nodes).
+    method:
+        ``"vector"`` -- digit-offset index arithmetic (the default path);
+        ``"scalar"`` -- the hash-map reference construction;
+        ``"auto"`` -- vectorized, falling back to scalar when the cache holds
+        configurations outside the space's Cartesian product.
+
+    Complexity of the vectorized path is one ``(n, v)`` index block and one sorted
+    lookup per parameter; the scalar path is ``O(n * d * v)`` dictionary probes.
+    Both produce the identical edge set.
+    """
+    if method not in ("auto", "vector", "scalar"):
+        raise ReproError(f"unknown FFG build method {method!r}")
+    configs, fitness = cache.valid_arrays()
+    if not configs:
+        raise ReproError(f"cache {cache.benchmark}/{cache.gpu} has no valid entries")
+
+    if method == "scalar":
+        rows, cols = _edges_scalar(cache.space, configs, fitness)
+    else:
+        try:
+            rows, cols = _edges_vectorized(cache.space, configs, fitness)
+        except InvalidConfigurationError:
+            if method == "vector":
+                raise
+            rows, cols = _edges_scalar(cache.space, configs, fitness)
 
     n = len(configs)
     adjacency = sparse.csr_matrix(

@@ -131,13 +131,28 @@ class KernelBenchmark:
         Cartesian product, matching how the paper leaves the huge spaces as "N/A" or
         estimates them.
         """
-        if limit is None or self.space.cardinality <= limit:
-            return sum(1 for config in self.space.enumerate_all()
-                       if self.is_valid_on(config, gpu))
+        def _count_launchable(configs: Sequence[Mapping[str, Any]]) -> int:
+            count = 0
+            for config in configs:
+                try:
+                    self.model.occupancy(config, gpu)
+                except ResourceLimitError:
+                    continue
+                count += 1
+            return count
+
+        space = self.space
+        if limit is None or space.cardinality <= limit:
+            # Static constraints are resolved by the vectorized mask (via the
+            # feasible-index blocks); only the survivors pay the per-config
+            # occupancy-model call.
+            return sum(_count_launchable(space.configs_at(block))
+                       for block in space.enumerate_chunked(valid_only=True))
         rng = np.random.default_rng(seed)
-        idx = rng.integers(0, self.space.cardinality, size=limit)
-        hits = sum(1 for i in idx if self.is_valid_on(self.space.config_at(int(i)), gpu))
-        return int(round(self.space.cardinality * hits / limit))
+        idx = rng.integers(0, space.cardinality, size=limit)
+        feasible = idx[space.satisfied_mask(idx)]
+        hits = _count_launchable(space.configs_at(feasible))
+        return int(round(space.cardinality * hits / limit))
 
     # ---------------------------------------------------------------- measurements
 
@@ -163,6 +178,10 @@ class KernelBenchmark:
         cache.metadata["workload"] = dict(self.workload.sizes)
         cache.metadata["sample_size"] = sample_size
         if exhaustive:
+            # Prime the feasible-index memo (free below the memoization threshold):
+            # enumeration then slices the cached array, and any later constrained
+            # count or sample on the same space reuses it.
+            self.space.feasible_indices()
             configs: Sequence[Mapping[str, Any]] = list(self.space.enumerate(valid_only=True))
         else:
             configs = self.space.sample(sample_size, rng=seed, valid_only=True, unique=True)

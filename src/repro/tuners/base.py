@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -133,6 +133,40 @@ class Tuner(abc.ABC):
                             max_attempts: int = 10_000) -> dict[str, Any]:
         """Draw a random configuration that satisfies the static constraints."""
         return problem.space.sample_one(rng=rng, valid_only=True)
+
+    def ask_random(self, space: Any, rng: np.random.Generator,
+                   without_replacement: bool = True, batch_size: int = 512,
+                   max_consecutive_rejects: int | None = None) -> Iterator[dict[str, Any]]:
+        """Stream uniformly-random valid configurations, batch-filtered.
+
+        This is the batch ``ask`` primitive shared by sampling-style tuners: candidate
+        indices are drawn in blocks and run through the space's vectorized constraint
+        mask, so per-candidate Python work only happens for configurations that are
+        actually evaluated.  Candidates are yielded in draw order, which keeps the
+        evaluated sequence identical to drawing one index at a time with the same
+        generator.
+
+        The stream ends (``StopIteration``) after ``max_consecutive_rejects``
+        consecutive duplicate/invalid draws, the signal that the space has effectively
+        run out of fresh valid configurations.
+        """
+        if max_consecutive_rejects is None:
+            max_consecutive_rejects = max(10_000, 50 * space.dimensions)
+        drawn: set[int] = set()
+        consecutive_rejects = 0
+        while True:
+            draws = rng.integers(0, space.cardinality, size=batch_size)
+            mask = space.satisfied_mask(draws)
+            for index, ok in zip(draws.tolist(), mask.tolist()):
+                if not ok or (without_replacement and index in drawn):
+                    consecutive_rejects += 1
+                    if consecutive_rejects > max_consecutive_rejects:
+                        return
+                    continue
+                consecutive_rejects = 0
+                if without_replacement:
+                    drawn.add(index)
+                yield space.config_at(index)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(seed={self.seed})"

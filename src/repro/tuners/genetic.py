@@ -86,6 +86,8 @@ class GeneticAlgorithm(Tuner):
 
     def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
         population: list[Observation] = []
+        # The initial population is one batched ``ask``: the space draws and
+        # constraint-filters the whole block of unique configurations in array form.
         for config in problem.space.sample(self.population_size, rng=rng, valid_only=True,
                                            unique=True):
             obs = self.evaluate(config)

@@ -10,6 +10,8 @@ definition.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.budget import Budget
@@ -47,11 +49,21 @@ class GridSearch(Tuner):
         indices = np.arange(0, space.cardinality, self.stride, dtype=np.int64)
         if self.shuffle:
             rng.shuffle(indices)
-        for index in indices:
+        # Validity is resolved one block at a time through the vectorized constraint
+        # mask; only the surviving indices are materialised as configurations, and
+        # blocks never grow far beyond what the remaining budget can evaluate.
+        chunk = 1 << 14
+        start = 0
+        while start < indices.size:
             if self.budget_exhausted:
-                break
-            config = space.config_at(int(index))
-            if not space.is_valid(config):
-                continue
-            if self.evaluate(config) is None:
-                break
+                return
+            remaining = self._budget.remaining_evaluations if self._budget else chunk
+            block_size = chunk if not math.isfinite(remaining) else max(
+                min(chunk, int(remaining) * 4), 64)
+            block = indices[start:start + block_size]
+            start += block_size
+            for config in space.configs_at(block[space.satisfied_mask(block)]):
+                if self.budget_exhausted:
+                    return
+                if self.evaluate(config) is None:
+                    return

@@ -51,6 +51,9 @@ class LocalSearch(Tuner):
     # ------------------------------------------------------------------ main loop
 
     def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
+        # Restart points come from the space's batched sampler and each step's
+        # neighbourhood is validity-filtered as one constraint mask, so the scalar
+        # work per iteration is just the evaluations themselves.
         while not self.budget_exhausted:
             start = problem.space.sample_one(rng=rng, valid_only=True)
             self._climb(problem, start, rng)

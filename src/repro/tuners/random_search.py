@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.core.budget import Budget
 from repro.core.problem import TuningProblem
-from repro.core.searchspace import config_key
 from repro.tuners.base import Tuner
 
 __all__ = ["RandomSearch"]
@@ -39,27 +38,12 @@ class RandomSearch(Tuner):
         self.without_replacement = without_replacement
 
     def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
-        space = problem.space
-        drawn: set[tuple] = set()
-        # The rejection loop bails out once it has clearly run out of fresh valid
+        # Candidates come from the base class's batch ``ask`` stream: indices are
+        # drawn in blocks and filtered through the vectorized constraint mask, with
+        # the evaluated sequence identical to the one-draw-at-a-time loop.  The
+        # stream ends by itself once the space has clearly run out of fresh valid
         # configurations (small spaces under large budgets).
-        consecutive_rejects = 0
-        max_consecutive_rejects = max(10_000, 50 * space.dimensions)
-        while not self.budget_exhausted:
-            index = int(rng.integers(0, space.cardinality))
-            config = space.config_at(index)
-            key = config_key(config)
-            if self.without_replacement and key in drawn:
-                consecutive_rejects += 1
-                if consecutive_rejects > max_consecutive_rejects:
-                    break
-                continue
-            if not space.is_valid(config):
-                consecutive_rejects += 1
-                if consecutive_rejects > max_consecutive_rejects:
-                    break
-                continue
-            consecutive_rejects = 0
-            drawn.add(key)
+        for config in self.ask_random(problem.space, rng,
+                                      without_replacement=self.without_replacement):
             if self.evaluate(config) is None:
                 break

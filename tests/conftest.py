@@ -18,6 +18,13 @@ from repro.gpus.specs import all_gpus, RTX_2080_TI, RTX_3090
 from repro.kernels import all_benchmarks
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: tier-2 wall-clock smoke checks of the vectorized search-space engine "
+        "(run in isolation with `pytest -m perf` or scripts/run_perf.sh --smoke)")
+
+
 @pytest.fixture(scope="session")
 def gpus():
     """The four simulated GPUs of the paper's testbed."""

@@ -1,0 +1,65 @@
+"""Tier-2 perf smoke checks (pytest marker ``perf``).
+
+These guard the vectorized search-space engine against silent regressions to scalar
+behaviour: the ceilings are *generous* (an order of magnitude above the engine's
+typical timings on any reasonable machine) so they never flake, yet a fallback to
+per-config Python loops -- which is 50--500x slower on these workloads -- trips them
+immediately, without anyone having to run the full figure pipeline.
+
+Run them with ``pytest -m perf`` (also included in plain ``pytest`` runs; see
+``scripts/run_perf.sh --smoke``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.graph.centrality import proportion_of_centrality
+from repro.graph.ffg import build_ffg
+
+pytestmark = pytest.mark.perf
+
+#: Wall-clock ceilings in seconds, deliberately loose (see module docstring).
+SAMPLE_10K_DEDISPERSION_CEILING_S = 10.0
+FFG_2K_CEILING_S = 10.0
+COUNT_GEMM_CEILING_S = 10.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_batched_sampling_10k_dedispersion_under_ceiling(benchmarks):
+    space = benchmarks["dedispersion"].space
+    configs, elapsed = _timed(
+        lambda: space.sample(10_000, rng=2023, valid_only=True, unique=True))
+    assert len(configs) == 10_000
+    assert elapsed < SAMPLE_10K_DEDISPERSION_CEILING_S, (
+        f"sampling 10k Dedispersion configurations took {elapsed:.2f}s "
+        f"(ceiling {SAMPLE_10K_DEDISPERSION_CEILING_S}s); the vectorized sampling "
+        f"path has likely regressed to scalar rejection")
+
+
+def test_ffg_and_pagerank_on_2k_cache_under_ceiling(benchmarks, gpu_3090):
+    cache = benchmarks["hotspot"].build_cache(gpu_3090, sample_size=2_000, seed=1)
+    (graph, report), elapsed = _timed(
+        lambda: ((g := build_ffg(cache)), proportion_of_centrality(cache, ffg=g)))
+    assert graph.num_nodes > 0 and report.num_minima > 0
+    assert elapsed < FFG_2K_CEILING_S, (
+        f"FFG + PageRank on a 2k-point cache took {elapsed:.2f}s "
+        f"(ceiling {FFG_2K_CEILING_S}s); the index-arithmetic FFG build has likely "
+        f"regressed to the dictionary loop")
+
+
+def test_exact_constrained_count_gemm_under_ceiling(benchmarks):
+    space = benchmarks["gemm"].space
+    count, elapsed = _timed(lambda: space.count_constrained(limit=None))
+    assert count == 17_956  # paper Table VIII
+    assert elapsed < COUNT_GEMM_CEILING_S, (
+        f"exact GEMM constrained count took {elapsed:.2f}s "
+        f"(ceiling {COUNT_GEMM_CEILING_S}s); the compiled constraint masks have "
+        f"likely regressed to per-config evaluation")

@@ -1,0 +1,200 @@
+"""Equivalence tests for the columnar index engine.
+
+The vectorized paths (batch mixed-radix codecs, compiled constraint masks, batched
+sampling, index-arithmetic FFG construction) must be drop-in replacements for the
+scalar implementations: every test here asserts element-wise agreement between the two
+on all registered kernel spaces, the contract the analysis layer's reproducibility
+rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import Constraint, ConstraintSet
+from repro.core.errors import EmptySearchSpaceError
+from repro.core.parameter import Parameter
+from repro.core.searchspace import SearchSpace
+from repro.graph.ffg import build_ffg
+from repro.graph.pagerank import pagerank
+
+KERNEL_NAMES = ("pnpoly", "nbody", "convolution", "gemm", "expdist", "hotspot",
+                "dedispersion")
+
+N_RANDOM = 1000
+
+
+@pytest.fixture(scope="module", params=KERNEL_NAMES)
+def kernel_space(request, benchmarks):
+    return benchmarks[request.param].space
+
+
+@pytest.fixture(scope="module")
+def random_indices(kernel_space):
+    rng = np.random.default_rng(20230711)
+    return rng.integers(0, kernel_space.cardinality, size=N_RANDOM)
+
+
+class TestBatchCodecs:
+    def test_digits_round_trip(self, kernel_space, random_indices):
+        digits = kernel_space.indices_to_digits(random_indices)
+        assert digits.shape == (N_RANDOM, kernel_space.dimensions)
+        np.testing.assert_array_equal(
+            kernel_space.digits_to_indices(digits), random_indices)
+
+    def test_configs_at_matches_scalar_config_at(self, kernel_space, random_indices):
+        batch = kernel_space.configs_at(random_indices)
+        for i in (0, 1, 17, 500, N_RANDOM - 1):
+            assert batch[i] == kernel_space.config_at(int(random_indices[i]))
+
+    def test_indices_of_configs_matches_scalar_index_of(self, kernel_space,
+                                                        random_indices):
+        configs = kernel_space.configs_at(random_indices)
+        np.testing.assert_array_equal(
+            kernel_space.indices_of_configs(configs), random_indices)
+        for i in (0, 42, N_RANDOM - 1):
+            assert kernel_space.index_of(configs[i]) == int(random_indices[i])
+
+    def test_configs_hold_native_python_values(self, kernel_space, random_indices):
+        config = kernel_space.configs_at(random_indices[:1])[0]
+        for parameter in kernel_space.parameters:
+            assert type(config[parameter.name]) is type(parameter.values[0])
+
+
+class TestSatisfiedMask:
+    def test_mask_agrees_with_scalar_elementwise(self, kernel_space, random_indices):
+        mask = kernel_space.satisfied_mask(random_indices)
+        configs = kernel_space.configs_at(random_indices)
+        scalar = np.fromiter(
+            (kernel_space.constraints.is_satisfied(c) for c in configs),
+            dtype=bool, count=N_RANDOM)
+        np.testing.assert_array_equal(mask, scalar)
+
+    def test_every_kernel_constraint_is_vectorized(self, kernel_space):
+        # The suite's restriction lists all live inside the vectorizable subset; a
+        # regression here silently degrades every hot path to the scalar fallback.
+        for constraint in kernel_space.constraints:
+            assert constraint.is_vectorized, constraint.expression
+
+    def test_opaque_callable_falls_back_to_scalar(self):
+        space = SearchSpace(
+            [Parameter("a", (1, 2, 3, 4)), Parameter("b", (1, 2, 3, 4))],
+            ConstraintSet([lambda c: c["a"] * c["b"] <= 6, "a != 3"]))
+        idx = np.arange(space.cardinality)
+        mask = space.satisfied_mask(idx)
+        scalar = [space.constraints.is_satisfied(c) for c in space.configs_at(idx)]
+        np.testing.assert_array_equal(mask, scalar)
+
+    def test_division_by_zero_counts_as_violated(self):
+        space = SearchSpace(
+            [Parameter("x", (0, 1, 2, 4)), Parameter("y", (0, 2, 4))],
+            ConstraintSet(["y % x == 0"]))
+        idx = np.arange(space.cardinality)
+        mask = space.satisfied_mask(idx)
+        scalar = [space.constraints.is_satisfied(c) for c in space.configs_at(idx)]
+        np.testing.assert_array_equal(mask, scalar)
+        assert not mask[: space.parameter("y").cardinality].any()  # x == 0 rows
+
+    def test_or_short_circuit_shields_failing_operand(self):
+        # "x == 0 or y % x == 0": for x == 0 the scalar path never evaluates the
+        # division, so those rows are satisfied, not poisoned.
+        space = SearchSpace(
+            [Parameter("x", (0, 1, 2, 3)), Parameter("y", (0, 2, 4))],
+            ConstraintSet(["x == 0 or y % x == 0"]))
+        idx = np.arange(space.cardinality)
+        mask = space.satisfied_mask(idx)
+        scalar = [space.constraints.is_satisfied(c) for c in space.configs_at(idx)]
+        np.testing.assert_array_equal(mask, scalar)
+        assert mask[: space.parameter("y").cardinality].all()
+
+    def test_constraint_compiled_once_at_construction(self):
+        constraint = Constraint("a % b == 0")
+        assert constraint._compiled is not None
+        assert constraint.is_vectorized
+        columns = {"a": np.array([4, 5, 6]), "b": np.array([2, 2, 2])}
+        np.testing.assert_array_equal(
+            constraint.satisfied_mask(columns, 3), [True, False, True])
+
+
+class TestSampling:
+    def _sample_reference(self, space, n, seed):
+        """The seed repository's scalar rejection-sampling loop, verbatim."""
+        rng = np.random.default_rng(seed)
+        out, seen, attempts = [], set(), 0
+        max_attempts = max(200 * n, 1000)
+        while len(out) < n:
+            attempts += 1
+            assert attempts <= max_attempts
+            idx = int(rng.integers(0, space.cardinality))
+            if idx in seen:
+                continue
+            config = space.config_at(idx)
+            if not space.constraints.is_satisfied(config):
+                continue
+            seen.add(idx)
+            out.append(config)
+        return out, rng
+
+    @pytest.mark.parametrize("seed", [0, 7, 2023])
+    def test_sample_matches_seed_implementation(self, kernel_space, seed):
+        n = 50
+        new = kernel_space.sample(n, rng=seed, valid_only=True, unique=True)
+        ref, _ = self._sample_reference(kernel_space, n, seed)
+        assert new == ref
+
+    def test_sample_preserves_generator_stream(self, kernel_space):
+        rng_new = np.random.default_rng(99)
+        new = kernel_space.sample(30, rng=rng_new)
+        ref, rng_ref = self._sample_reference(kernel_space, 30, 99)
+        assert new == ref
+        # A generator shared with the caller must end up at the same position.
+        assert int(rng_new.integers(0, 2**62)) == int(rng_ref.integers(0, 2**62))
+
+    def test_memoized_feasible_set_prevents_sampling_pathology(self):
+        # Only 4 of 64 points are feasible; the seed implementation's rejection loop
+        # raised EmptySearchSpaceError for draws close to the feasible count.
+        space = SearchSpace(
+            [Parameter("a", tuple(range(8))), Parameter("b", tuple(range(8)))],
+            ConstraintSet(["a == b", "a < 4"]))
+        feasible = space.feasible_indices()
+        assert feasible is not None and feasible.size == 4
+        configs = space.sample(4, rng=0, valid_only=True, unique=True,
+                               max_attempts_factor=2)
+        assert len({tuple(sorted(c.items())) for c in configs}) == 4
+
+    def test_pathology_fix_needs_no_priming(self):
+        # The memo is computed on demand when rejection patience runs out, so even a
+        # fresh space below the threshold can never spuriously fail.
+        space = SearchSpace(
+            [Parameter("a", tuple(range(8))), Parameter("b", tuple(range(8)))],
+            ConstraintSet(["a == b", "a < 4"]))
+        assert space._feasible is None
+        configs = space.sample(4, rng=0, valid_only=True, unique=True,
+                               max_attempts_factor=2)
+        assert len(configs) == 4
+
+    def test_infeasible_request_fails_fast_with_feasible_fraction(self):
+        space = SearchSpace(
+            [Parameter("a", tuple(range(8))), Parameter("b", tuple(range(8)))],
+            ConstraintSet(["a == b", "a < 4"]))
+        space.feasible_indices()
+        with pytest.raises(EmptySearchSpaceError, match="feasible fraction"):
+            space.sample(5, rng=0, valid_only=True, unique=True)
+
+
+class TestVectorizedFFG:
+    def test_vector_and_scalar_builds_are_identical(self, benchmarks, gpu_3090):
+        cache = benchmarks["pnpoly"].build_cache(gpu_3090, sample_size=600, seed=11)
+        vec = build_ffg(cache, method="vector")
+        scalar = build_ffg(cache, method="scalar")
+        assert vec.num_nodes == scalar.num_nodes
+        assert vec.num_edges == scalar.num_edges
+        assert (vec.adjacency != scalar.adjacency).nnz == 0
+        np.testing.assert_array_equal(vec.fitness, scalar.fitness)
+
+    def test_pagerank_accepts_raw_csr_arrays(self, benchmarks, gpu_3090):
+        cache = benchmarks["nbody"].build_cache(gpu_3090, sample_size=400, seed=5)
+        graph = build_ffg(cache)
+        np.testing.assert_allclose(pagerank(graph.csr_arrays()),
+                                   pagerank(graph.adjacency), atol=1e-12)
