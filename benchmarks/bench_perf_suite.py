@@ -1,10 +1,10 @@
 """Micro-benchmark harness for the vectorized search-space engine.
 
-Times the three hot paths the engine rewired -- batched unique sampling, fitness-flow
-graph construction, and exact constrained counting -- against faithful re-creations of
-the seed repository's scalar implementations, asserts that both produce identical
-results, and writes the timings to ``BENCH_perf.json`` so before/after comparisons
-survive the run.
+Times the hot paths the engine rewired -- batched unique sampling, fitness-flow graph
+construction, exact constrained counting, and sharded campaign execution -- against
+faithful re-creations of the seed repository's scalar implementations (or the serial
+reference executor), asserts that both produce identical results, and writes the
+timings to ``BENCH_perf.json`` so before/after comparisons survive the run.
 
 Usage::
 
@@ -18,13 +18,15 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
+import os
 import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.searchspace import SearchSpace
-from repro.gpus.specs import RTX_3090
+from repro.exec import ParallelExecutor, SerialExecutor, ShardPlanner
+from repro.gpus.specs import RTX_3090, all_gpus
 from repro.graph.centrality import proportion_of_centrality
 from repro.graph.ffg import build_ffg
 from repro.graph.pagerank import pagerank
@@ -32,6 +34,7 @@ from repro.kernels import all_benchmarks
 
 SAMPLE_N = 10_000
 FFG_CACHE_POINTS = 2_000
+CAMPAIGN_WORKERS = 4
 
 
 # ----------------------------------------------------------- scalar reference paths
@@ -141,6 +144,47 @@ def main() -> None:
           f"vectorized {t_vec:7.3f}s  {t_scalar / t_vec:6.1f}x  "
           f"identical={count_vec == count_scalar} (count={count_vec})")
 
+    # ------------------------------------------- sharded 10k-sample campaign
+    # The paper's sampled campaign: hotspot/dedispersion/expdist, 10 000 unique
+    # configurations each, on all four GPUs -- serial reference executor vs the
+    # process-pool executor, merged caches byte-identical by contract.  Wall-clock
+    # speedup is bounded by the cores the machine actually has, so the core count
+    # is part of the record.
+    gpus = all_gpus()
+    sampled = {name: benchmarks[name]
+               for name in ("hotspot", "dedispersion", "expdist")}
+    planner = ShardPlanner(sampled, gpus, sample_size=SAMPLE_N, seed=2023)
+    plan = planner.plan()
+    serial_caches, t_serial = timed(
+        SerialExecutor().run, plan, benchmarks=sampled, gpus=gpus)
+    parallel_caches, t_parallel = timed(
+        ParallelExecutor(workers=CAMPAIGN_WORKERS).run, plan,
+        benchmarks=sampled, gpus=gpus)
+    identical = all(
+        json.dumps(serial_caches[key].to_dict())
+        == json.dumps(parallel_caches[key].to_dict())
+        for key in serial_caches)
+    cpu_count = os.cpu_count() or 1
+    report[f"parallel_campaign_10k_{CAMPAIGN_WORKERS}workers"] = {
+        "description": f"paper 10k-sample campaign ({len(plan.units)} units, "
+                       f"{plan.n_configs} evaluations in {len(plan.shards)} "
+                       f"shards): SerialExecutor vs ParallelExecutor"
+                       f"({CAMPAIGN_WORKERS} workers)",
+        "serial_s": round(t_serial, 4),
+        "parallel_s": round(t_parallel, 4),
+        "speedup": round(t_serial / t_parallel, 2),
+        "identical": identical,
+        "cpu_count": cpu_count,
+        "speedup_bound": min(CAMPAIGN_WORKERS, cpu_count),
+    }
+    print(f"campaign 10k x{len(plan.units):>2}  : serial {t_serial:7.3f}s  "
+          f"parallel({CAMPAIGN_WORKERS}w) {t_parallel:7.3f}s  "
+          f"{t_serial / t_parallel:6.2f}x  identical={identical}  "
+          f"(host has {cpu_count} core(s))")
+    if cpu_count < 2:
+        print("  note: single-core host -- wall-clock speedup is bounded at 1x "
+              "here; the >=2x criterion is checked on multi-core hosts")
+
     out_path = Path(args.output)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {out_path}")
@@ -149,6 +193,14 @@ def main() -> None:
     if mismatched:
         raise SystemExit(f"result mismatch between scalar and vectorized paths: "
                          f"{mismatched}")
+    campaign = report[f"parallel_campaign_10k_{CAMPAIGN_WORKERS}workers"]
+    # Only gate where the 2x bar sits comfortably below the theoretical ceiling:
+    # on 2-3 (possibly hyperthreaded) cores the bound itself is ~2x and pool
+    # overhead legitimately lands just under it.
+    if campaign["cpu_count"] >= 4 and campaign["speedup"] < 2.0:
+        raise SystemExit(
+            f"parallel campaign speedup {campaign['speedup']}x is below the 2x "
+            f"bar on a {campaign['cpu_count']}-core host")
 
 
 if __name__ == "__main__":

@@ -13,6 +13,14 @@ caches in memory (so one pytest/benchmark session never evaluates the same campa
 twice), and can persist/load them as cache files.  A ``scale`` parameter shrinks the
 sampled campaigns and swaps exhaustive enumeration for sampling above a cardinality
 limit, which is what the unit tests and the quick benchmark presets use.
+
+Execution is delegated to the :mod:`repro.exec` subsystem: the campaign's design
+decisions (which benchmarks are sampled, per-GPU seeds) live in
+:class:`~repro.exec.planner.ShardPlanner`, and cache construction runs through an
+:class:`~repro.exec.executors.Executor` -- the default :class:`SerialExecutor` keeps
+the historical behaviour byte for byte, while a
+:class:`~repro.exec.executors.ParallelExecutor` fans the same shards out over worker
+processes.  An optional checkpoint directory makes long campaigns resumable.
 """
 
 from __future__ import annotations
@@ -21,17 +29,18 @@ from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.core.cache import EvaluationCache
+from repro.exec.checkpoint import CheckpointStore
+from repro.exec.executors import Executor, SerialExecutor
+from repro.exec.planner import (
+    PAPER_SAMPLE_SIZE,
+    PAPER_SAMPLED_BENCHMARKS,
+    ShardPlanner,
+)
 from repro.gpus.specs import GPUSpec, all_gpus
 from repro.io.cachefile import load_cache, save_cache
 from repro.kernels import KernelBenchmark, all_benchmarks
 
 __all__ = ["Campaign", "PAPER_SAMPLED_BENCHMARKS", "PAPER_SAMPLE_SIZE"]
-
-#: Benchmarks the paper samples (10 000 random configurations) instead of enumerating.
-PAPER_SAMPLED_BENCHMARKS: frozenset[str] = frozenset({"hotspot", "dedispersion", "expdist"})
-
-#: Number of random configurations per sampled campaign in the paper.
-PAPER_SAMPLE_SIZE: int = 10_000
 
 
 class Campaign:
@@ -54,31 +63,42 @@ class Campaign:
         Base seed of the sampled campaigns (each GPU gets ``seed + index``).
     with_noise:
         Whether the simulated measurements include the deterministic noise model.
+    executor:
+        Campaign executor (default: :class:`~repro.exec.executors.SerialExecutor`).
+        Pass a :class:`~repro.exec.executors.ParallelExecutor` to evaluate shards
+        across worker processes; the resulting caches are byte-identical.
+    checkpoint:
+        Optional checkpoint directory (or :class:`~repro.exec.checkpoint.CheckpointStore`):
+        completed shards are persisted so an interrupted campaign resumes without
+        re-evaluating.
     """
 
     def __init__(self, benchmarks: Mapping[str, KernelBenchmark] | None = None,
                  gpus: Mapping[str, GPUSpec] | None = None,
                  sample_size: int = PAPER_SAMPLE_SIZE,
                  exhaustive_limit: int | None = None,
-                 seed: int = 2023, with_noise: bool = True):
+                 seed: int = 2023, with_noise: bool = True,
+                 executor: Executor | None = None,
+                 checkpoint: CheckpointStore | str | Path | None = None):
         self.benchmarks = dict(benchmarks) if benchmarks is not None else all_benchmarks()
         self.gpus = dict(gpus) if gpus is not None else all_gpus()
         self.sample_size = int(sample_size)
         self.exhaustive_limit = exhaustive_limit
         self.seed = int(seed)
         self.with_noise = with_noise
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.checkpoint = checkpoint
+        self._planner = ShardPlanner(
+            benchmarks=self.benchmarks, gpus=self.gpus, sample_size=self.sample_size,
+            exhaustive_limit=self.exhaustive_limit, seed=self.seed,
+            with_noise=self.with_noise)
         self._caches: dict[tuple[str, str], EvaluationCache] = {}
 
     # ------------------------------------------------------------------- protocol
 
     def is_sampled(self, benchmark_name: str) -> bool:
         """True when the campaign for this benchmark uses random sampling."""
-        benchmark = self.benchmarks[benchmark_name]
-        if benchmark_name in PAPER_SAMPLED_BENCHMARKS:
-            return True
-        if self.exhaustive_limit is not None:
-            return benchmark.space.cardinality > self.exhaustive_limit
-        return False
+        return self._planner.is_sampled(benchmark_name)
 
     def campaign_sample_size(self, benchmark_name: str) -> int | None:
         """Sample size used for this benchmark (None = exhaustive)."""
@@ -86,24 +106,34 @@ class Campaign:
 
     # --------------------------------------------------------------------- caches
 
+    def _execute(self, keys: Iterable[tuple[str, str]]) -> None:
+        """Build the caches of ``keys`` through the execution subsystem.
+
+        With a checkpoint directory the manifest always binds the *full* campaign
+        plan (fragments need one stable plan to resume against) while only the
+        requested units' shards execute -- per-pair laziness and resumability
+        compose.
+        """
+        keys = list(keys)
+        if not keys:
+            return
+        if self.checkpoint is not None:
+            plan = self._planner.plan()
+            only_units = keys
+        else:
+            plan = self._planner.plan(
+                [self._planner.unit_for(benchmark_name, gpu_name)
+                 for benchmark_name, gpu_name in keys])
+            only_units = None
+        self._caches.update(self.executor.run(
+            plan, benchmarks=self.benchmarks, gpus=self.gpus,
+            checkpoint=self.checkpoint, only_units=only_units))
+
     def cache(self, benchmark_name: str, gpu_name: str) -> EvaluationCache:
         """The campaign cache of one (benchmark, GPU) pair (built on first access)."""
         key = (benchmark_name, gpu_name)
         if key not in self._caches:
-            benchmark = self.benchmarks[benchmark_name]
-            gpu = self.gpus[gpu_name]
-            gpu_index = sorted(self.gpus).index(gpu_name)
-            if not self.is_sampled(benchmark_name):
-                # Exhaustive campaigns enumerate the same feasible set once per GPU;
-                # priming the space's memoized feasible-index array makes every
-                # build after the first a pure array slice.
-                benchmark.space.feasible_indices()
-            self._caches[key] = benchmark.build_cache(
-                gpu,
-                sample_size=self.campaign_sample_size(benchmark_name),
-                seed=self.seed + gpu_index,
-                with_noise=self.with_noise,
-            )
+            self._execute([key])
         return self._caches[key]
 
     def caches_for_benchmark(self, benchmark_name: str) -> dict[str, EvaluationCache]:
@@ -111,10 +141,15 @@ class Campaign:
         return {gpu_name: self.cache(benchmark_name, gpu_name) for gpu_name in self.gpus}
 
     def all_caches(self) -> dict[tuple[str, str], EvaluationCache]:
-        """Every (benchmark, GPU) cache of the campaign."""
-        for benchmark_name in self.benchmarks:
-            for gpu_name in self.gpus:
-                self.cache(benchmark_name, gpu_name)
+        """Every (benchmark, GPU) cache of the campaign.
+
+        Missing caches are built in a single executor pass, so a parallel executor's
+        worker pool is spun up once for the whole campaign rather than per pair.
+        """
+        missing = [(benchmark_name, gpu_name)
+                   for benchmark_name in self.benchmarks for gpu_name in self.gpus
+                   if (benchmark_name, gpu_name) not in self._caches]
+        self._execute(missing)
         return dict(self._caches)
 
     # ---------------------------------------------------------------- persistence

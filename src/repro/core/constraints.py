@@ -19,6 +19,8 @@ into cache files and render nicely in reports.
 
 from __future__ import annotations
 
+import ast
+import warnings
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -26,7 +28,17 @@ import numpy as np
 from repro.core.errors import ConstraintViolationError, InvalidConfigurationError
 from repro.core.vectorize import compile_vectorized
 
-__all__ = ["Constraint", "ConstraintSet"]
+__all__ = ["Constraint", "ConstraintSet", "ConstraintSerializationWarning"]
+
+
+class ConstraintSerializationWarning(UserWarning):
+    """A constraint could not be restored from its serialized form.
+
+    Callable constraints serialize by name only; loading a cache file that contains
+    one drops the constraint (the predicate itself is gone) and emits this warning so
+    the degradation is explicit.  Pass a live ``space=`` to
+    :func:`repro.io.cachefile.load_cache` to keep callable constraints.
+    """
 
 # Builtins whitelisted inside constraint expressions.  ``min``/``max``/``abs`` show up
 # in real restriction lists; nothing else is needed and nothing else is allowed.
@@ -152,9 +164,37 @@ class Constraint:
 
     # ------------------------------------------------------------------ serialization
 
+    @property
+    def is_callable(self) -> bool:
+        """True when this constraint wraps an opaque callable (no expression string)."""
+        return self._compiled is None
+
+    def referenced_names(self) -> frozenset[str] | None:
+        """Names the expression refers to, minus whitelisted builtins.
+
+        Returns None for callable constraints (their dependencies are opaque).  Used
+        by loaders to detect legacy serializations of *named* callables: a function
+        name like ``"power_of_two"`` parses as a perfectly valid expression but
+        references no parameter, so comparing this set against the space's parameter
+        names exposes the degradation.
+        """
+        if self.is_callable:
+            return None
+        tree = ast.parse(self.expression, mode="eval")
+        names = {node.id for node in ast.walk(tree) if isinstance(node, ast.Name)}
+        return frozenset(names - set(_SAFE_BUILTINS))
+
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serializable form (callables serialize by name only)."""
-        return {"expression": self.expression, "description": self.description}
+        """JSON-serializable form.
+
+        Callable constraints serialize by name only and are flagged with
+        ``"callable": true`` so loaders can warn instead of silently degrading the
+        predicate to a bare name lookup.
+        """
+        data = {"expression": self.expression, "description": self.description}
+        if self.is_callable:
+            data["callable"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Constraint":
@@ -288,8 +328,30 @@ class ConstraintSet:
 
     @classmethod
     def from_list(cls, data: Iterable[Mapping[str, Any]]) -> "ConstraintSet":
-        """Inverse of :meth:`to_list`."""
-        return cls(Constraint.from_dict(d) for d in data)
+        """Inverse of :meth:`to_list`.
+
+        Entries flagged ``"callable": true`` (and legacy entries whose name does not
+        parse as an expression, e.g. ``"<lambda>"``) cannot be restored: the predicate
+        itself was never serialized.  They are dropped with an explicit
+        :class:`ConstraintSerializationWarning` instead of degrading into a bare name
+        lookup that raises on first use.
+        """
+        out = cls()
+        for d in data:
+            if d.get("callable"):
+                warnings.warn(
+                    f"dropping callable constraint {d.get('expression')!r}: only its "
+                    f"name was serialized; reattach a live space to keep it",
+                    ConstraintSerializationWarning, stacklevel=2)
+                continue
+            try:
+                out.add(Constraint.from_dict(d))
+            except SyntaxError:
+                warnings.warn(
+                    f"dropping unparseable constraint {d.get('expression')!r} "
+                    f"(legacy serialization of a callable constraint)",
+                    ConstraintSerializationWarning, stacklevel=2)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ConstraintSet({[c.expression for c in self._constraints]})"

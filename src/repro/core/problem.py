@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
-from repro.core.errors import ResourceLimitError
+from repro.core.errors import ReproError, ResourceLimitError
 from repro.core.result import Observation
 from repro.core.searchspace import SearchSpace, config_key
 
@@ -106,13 +106,19 @@ class TuningProblem:
 
     # ------------------------------------------------------------------- evaluation
 
-    def evaluate(self, config: Mapping[str, Any]) -> Observation:
+    def evaluate(self, config: Mapping[str, Any],
+                 _valid_hint: bool | None = None) -> Observation:
         """Measure one configuration and return the observation.
 
         Invalid configurations (constraint violations, device resource limits, or an
         objective function that raises/returns a non-finite value) yield an
         observation with ``valid=False`` and ``value=inf`` -- they still count as an
         evaluation, exactly as a failed compilation costs time on real hardware.
+
+        ``_valid_hint`` is the internal handshake with :meth:`evaluate_many`: the
+        batch path precomputes static validity for a whole block with the vectorized
+        constraint mask (element-wise equivalent to :meth:`is_valid` by the
+        compilation contract) so this method can skip the per-config scalar pass.
         """
         key = config_key(config)
         if self.memoize and key in self._cache:
@@ -125,7 +131,9 @@ class TuningProblem:
         value: float
         valid = True
         error = ""
-        if not self.space.is_valid(config):
+        statically_valid = (self.space.is_valid(config) if _valid_hint is None
+                            else _valid_hint)
+        if not statically_valid:
             valid = False
             value = self.direction.worst_value
             error = "constraint violation: " + ", ".join(
@@ -154,9 +162,37 @@ class TuningProblem:
             self._cache[key] = obs
         return obs
 
-    def evaluate_many(self, configs: list[Mapping[str, Any]]) -> list[Observation]:
-        """Evaluate a batch of configurations in order."""
-        return [self.evaluate(c) for c in configs]
+    def _batch_validity(self, configs: Sequence[Mapping[str, Any]]) -> list[bool | None]:
+        """Static validity of many configurations in one vectorized pass.
+
+        Returns one hint per configuration, or ``None`` hints (scalar fallback) when
+        the block cannot be validated as a whole -- a configuration with
+        missing/extra parameters or a value outside its parameter's list.
+        """
+        names = set(self.space.parameter_names)
+        if any(set(c) != names for c in configs):
+            return [None] * len(configs)
+        try:
+            digits = self.space.digits_of_configs(configs)
+        except ReproError:
+            return [None] * len(configs)
+        return self.space.satisfied_mask(None, digits=digits).tolist()
+
+    def evaluate_many(self, configs: Sequence[Mapping[str, Any]]) -> list[Observation]:
+        """Evaluate a batch of configurations in order.
+
+        Observation-for-observation identical to calling :meth:`evaluate` in a loop,
+        but the static validity check runs once over the whole batch through the
+        vectorized constraint mask instead of once per configuration -- the same
+        batching discipline the shard workers of :mod:`repro.exec` use for the
+        kernel-model calls.
+        """
+        configs = list(configs)
+        if len(configs) < 2:
+            return [self.evaluate(c) for c in configs]
+        hints = self._batch_validity(configs)
+        return [self.evaluate(c, _valid_hint=hint)
+                for c, hint in zip(configs, hints)]
 
     def objective(self, config: Mapping[str, Any]) -> float:
         """Scalar objective of a configuration (``inf`` for invalid ones)."""

@@ -8,11 +8,13 @@ is therefore reproducible from a (tuner, problem, budget, seed) quadruple.
 
 from __future__ import annotations
 
+import pickle
 from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.budget import Budget
+from repro.core.errors import ReproError
 from repro.core.problem import TuningProblem
 from repro.core.result import TuningResult
 
@@ -75,17 +77,63 @@ def run_repetitions(tuner_factory, problem: TuningProblem, repetitions: int,
 
 
 def run_matrix(tuners: Mapping[str, Any], problems: Mapping[str, TuningProblem],
-               max_evaluations: int, seed: int = 0) -> dict[tuple[str, str], TuningResult]:
+               max_evaluations: int, seed: int = 0,
+               executor: Any = None) -> dict[tuple[str, str], TuningResult]:
     """Run every tuner on every problem once.
 
     Returns a dictionary keyed by ``(tuner_name, problem_name)``.  Used by the tuner
     comparison example and the ablation benchmark.
+
+    Parameters
+    ----------
+    executor:
+        Optional task mapper with a ``map(fn, iterable)`` method (e.g. a
+        :class:`repro.exec.SerialExecutor`, or a
+        :class:`concurrent.futures.ThreadPoolExecutor`).  The matrix is partitioned
+        *by problem* -- every tuner runs serially against its problem object, so the
+        per-problem memoization/reset semantics are exactly those of the serial loop
+        -- and the problem columns are dispatched through the executor.  Results are
+        identical to the serial run (each run is deterministic given ``seed``); only
+        wall-clock changes.  Process-pool mappers require picklable problems, which
+        the closure-based kernel problems are not -- use thread- or in-process
+        mappers for those.  Tuner *instances* (as opposed to ``seed=``-callable
+        factories) carry per-run state on ``self``, so a concurrent mapper would
+        race them across columns -- the matrix falls back to inline execution
+        whenever a non-callable tuner is present.
     """
-    results: dict[tuple[str, str], TuningResult] = {}
-    for tuner_name, tuner_factory in tuners.items():
-        for problem_name, problem in problems.items():
+    if executor is not None and any(not callable(f) for f in tuners.values()):
+        executor = None
+
+    def run_column(item: tuple[str, TuningProblem]) -> dict[tuple[str, str], TuningResult]:
+        problem_name, problem = item
+        column: dict[tuple[str, str], TuningResult] = {}
+        for tuner_name, tuner_factory in tuners.items():
             tuner = tuner_factory(seed=seed) if callable(tuner_factory) else tuner_factory
             problem.reset_cache()
-            results[(tuner_name, problem_name)] = run_tuning(
+            column[(tuner_name, problem_name)] = run_tuning(
                 tuner, problem, max_evaluations=max_evaluations, seed=seed)
-    return results
+        return column
+
+    if executor is None:
+        columns = [run_column(item) for item in problems.items()]
+    else:
+        try:
+            columns = list(executor.map(run_column, list(problems.items())))
+        except (pickle.PicklingError, AttributeError) as exc:
+            # Submission-side pickling of the local closure is the only failure
+            # translated here ("Can't pickle local object 'run_matrix...'"); any
+            # other AttributeError is a genuine bug and propagates untouched.
+            if (isinstance(exc, AttributeError)
+                    and "pickle local object" not in str(exc)):
+                raise
+            raise ReproError(
+                "run_matrix's column runner closes over tuners and problems and "
+                "cannot be shipped to worker processes; use a thread-based or "
+                "in-process mapper (e.g. repro.exec.SerialExecutor or "
+                "concurrent.futures.ThreadPoolExecutor)") from exc
+    merged: dict[tuple[str, str], TuningResult] = {}
+    for column in columns:
+        merged.update(column)
+    # Preserve the historical tuner-major key order of the serial loop.
+    return {(tuner_name, problem_name): merged[(tuner_name, problem_name)]
+            for tuner_name in tuners for problem_name in problems}

@@ -714,9 +714,32 @@ class SearchSpace:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SearchSpace":
-        """Inverse of :meth:`to_dict` (only string-expression constraints round-trip)."""
+        """Inverse of :meth:`to_dict` (only string-expression constraints round-trip).
+
+        Constraints referencing names that are neither parameters nor whitelisted
+        builtins are dropped with a
+        :class:`~repro.core.constraints.ConstraintSerializationWarning`: the typical
+        culprit is a legacy serialization of a *named* callable constraint (e.g.
+        ``"power_of_two"``), which parses as an expression but could only ever raise
+        on evaluation.
+        """
+        import warnings
+
+        from repro.core.constraints import ConstraintSerializationWarning
+
         params = [Parameter.from_dict(d) for d in data["parameters"]]
-        constraints = ConstraintSet.from_list(data.get("constraints", []))
+        names = {p.name for p in params}
+        constraints = ConstraintSet()
+        for constraint in ConstraintSet.from_list(data.get("constraints", [])):
+            unknown = (constraint.referenced_names() or frozenset()) - names
+            if unknown:
+                warnings.warn(
+                    f"dropping constraint {constraint.expression!r}: it references "
+                    f"{sorted(unknown)} which are not parameters of this space "
+                    f"(legacy serialization of a callable constraint?)",
+                    ConstraintSerializationWarning, stacklevel=2)
+                continue
+            constraints.add(constraint)
         return cls(params, constraints, name=data.get("name", ""))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

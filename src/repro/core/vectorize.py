@@ -17,6 +17,9 @@ The compiled evaluator must agree element-wise with the scalar evaluator:
   :meth:`repro.core.constraints.Constraint.is_satisfied`;
 * ``and`` / ``or`` short-circuit per element: a failing right operand only poisons
   rows whose left operand did not already decide the result;
+* ternaries (``a if cond else b``) evaluate both branches over the whole block but a
+  failing branch only poisons the rows that actually take it, mirroring the scalar
+  path which never evaluates the untaken branch;
 * a reference to a name that is not a column raises (missing parameter), it does not
   silently evaluate to False.
 
@@ -141,6 +144,25 @@ _CMPOPS: dict[type, Callable[..., Any]] = {
 }
 
 
+def _literal_container(node: ast.AST) -> tuple[Any, ...] | None:
+    """The element tuple of a literal tuple/list/set of constants, else None."""
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        if all(isinstance(elt, ast.Constant) for elt in node.elts):
+            return tuple(elt.value for elt in node.elts)
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, (tuple, frozenset)):
+        return tuple(node.value)
+    return None
+
+
+def _membership_mask(value: Any, elements: tuple[Any, ...], n: int) -> np.ndarray:
+    """Element-wise ``value in elements`` (Python ``in`` uses ``==`` per element)."""
+    mask = np.zeros(n, dtype=bool)
+    for elt in elements:
+        mask |= _as_bool(np.asarray(value) == elt, n)
+    return mask
+
+
 # ------------------------------------------------------------------- node compilers
 
 _NodeFn = Callable[[_EvalContext], Any]
@@ -178,17 +200,49 @@ def _compile_node(node: ast.AST) -> _NodeFn:
         raise _NotVectorizable(f"binary op {op_type.__name__}")
 
     if isinstance(node, ast.Compare):
-        operands = [_compile_node(n) for n in [node.left, *node.comparators]]
-        ops = []
-        for op_node in node.ops:
+        # Each link of the chain compiles to a term over (left operand, right node);
+        # In/NotIn links require a literal container of constants on the right and
+        # expand membership into an equality-OR, exactly Python's ``in`` semantics.
+        terms: list[Callable[[_EvalContext, Any], np.ndarray | Any]] = []
+        compiled: list[_NodeFn | None] = [_compile_node(node.left)]
+        for op_node, right_node in zip(node.ops, node.comparators):
             op_type = type(op_node)
-            if op_type not in _CMPOPS:
+            if op_type in (ast.In, ast.NotIn):
+                elements = _literal_container(right_node)
+                if elements is None:
+                    raise _NotVectorizable(
+                        f"{op_type.__name__} over a non-literal container")
+                if len(node.ops) > 1:
+                    # A membership link inside a longer chain would feed the literal
+                    # container into the next comparison; nobody writes that, and the
+                    # scalar path is the safe place for it.
+                    raise _NotVectorizable("membership inside a comparison chain")
+                compiled.append(None)  # membership needs no compiled right operand
+                negate = op_type is ast.NotIn
+
+                def term(ctx: _EvalContext, left_value: Any,
+                         _elements=elements, _negate=negate) -> np.ndarray:
+                    mask = _membership_mask(left_value, _elements, ctx.n)
+                    return ~mask if _negate else mask
+
+                terms.append(term)
+            elif op_type in _CMPOPS:
+                right = _compile_node(right_node)
+                compiled.append(right)
+                op = _CMPOPS[op_type]
+
+                def term(ctx: _EvalContext, left_value: Any,
+                         _op=op, _right=right) -> Any:
+                    return _op(left_value, _right(ctx))
+
+                terms.append(term)
+            else:
                 raise _NotVectorizable(f"comparison {op_type.__name__}")
-            ops.append(_CMPOPS[op_type])
-        if len(ops) == 1:
-            left, right = operands
-            op = ops[0]
-            return lambda ctx: op(left(ctx), right(ctx))
+
+        if len(terms) == 1:
+            left = compiled[0]
+            only = terms[0]
+            return lambda ctx: only(ctx, left(ctx))
 
         def compare_chain(ctx: _EvalContext) -> np.ndarray:
             # a < b < c  ==  (a < b) & (b < c); all operands are side-effect free in
@@ -196,9 +250,11 @@ def _compile_node(node: ast.AST) -> _NodeFn:
             # except through the failure mask, which _gated_fold handles for BoolOp --
             # chained comparisons over guarded arithmetic are folded conservatively.
             result = None
-            for op, left, right in zip(ops, operands[:-1], operands[1:]):
-                term = _as_bool(op(left(ctx), right(ctx)), ctx.n)
-                result = term if result is None else result & term
+            left_value = compiled[0](ctx)
+            for term, right in zip(terms, compiled[1:]):
+                mask = _as_bool(term(ctx, left_value), ctx.n)
+                result = mask if result is None else result & mask
+                left_value = right(ctx) if right is not None else None
             return result
 
         return compare_chain
@@ -233,6 +289,31 @@ def _compile_node(node: ast.AST) -> _NodeFn:
             return decided_value if is_or else active
 
         return boolop
+
+    if isinstance(node, ast.IfExp):
+        test = _compile_node(node.test)
+        body = _compile_node(node.body)
+        orelse = _compile_node(node.orelse)
+
+        def ifexp(ctx: _EvalContext) -> np.ndarray:
+            # The scalar path evaluates only the taken branch, so a branch that
+            # raises must only poison the rows that take it (same gating as BoolOp).
+            taken = _as_bool(test(ctx), ctx.n)
+            outer_fail = ctx.fail
+            ctx.fail = None
+            body_value = np.broadcast_to(np.asarray(body(ctx)), (ctx.n,))
+            body_fail = ctx.fail
+            ctx.fail = None
+            orelse_value = np.broadcast_to(np.asarray(orelse(ctx)), (ctx.n,))
+            orelse_fail = ctx.fail
+            ctx.fail = outer_fail
+            if body_fail is not None and np.any(taken & body_fail):
+                ctx.mark_failed(taken & body_fail)
+            if orelse_fail is not None and np.any(~taken & orelse_fail):
+                ctx.mark_failed(~taken & orelse_fail)
+            return np.where(taken, body_value, orelse_value)
+
+        return ifexp
 
     if isinstance(node, ast.Call):
         if node.keywords or not isinstance(node.func, ast.Name):

@@ -1,0 +1,55 @@
+"""Parallel campaign execution.
+
+The paper's evaluation is built entirely from per-(benchmark, GPU) campaign caches;
+this subpackage is the execution layer that produces them at scale.  It splits a
+campaign into deterministic shards (:mod:`repro.exec.planner`), evaluates them
+serially or across a process pool (:mod:`repro.exec.executors`) with results
+*byte-identical* to the serial reference, persists completed shards for resumable
+runs (:mod:`repro.exec.checkpoint`), and exposes the whole thing as the suite's first
+operational CLI (``python -m repro.exec``; see :mod:`repro.exec.cli`).
+
+Quick start::
+
+    from repro.exec import ParallelExecutor, run_campaign
+
+    caches = run_campaign(executor=ParallelExecutor(workers=4),
+                          checkpoint="ckpt/")
+
+The division of labour mirrors worker-queue runner services: a *planner* that owns
+the deterministic work breakdown, stateless *workers* that evaluate index slices by
+name, a *checkpoint store* for completed work units, and *executors* that merge in
+plan order.  Multi-host sharding only needs a new executor -- the plan, worker and
+checkpoint contracts already hold.
+"""
+
+from repro.exec.checkpoint import CheckpointStore
+from repro.exec.config import (
+    MEMOIZE_THRESHOLD_ENV,
+    apply_memoize_threshold,
+    resolve_memoize_threshold,
+)
+from repro.exec.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    resume_campaign,
+    run_campaign,
+)
+from repro.exec.planner import (
+    DEFAULT_SHARD_SIZE,
+    PAPER_SAMPLE_SIZE,
+    PAPER_SAMPLED_BENCHMARKS,
+    CampaignPlan,
+    CampaignUnit,
+    Shard,
+    ShardPlanner,
+)
+
+__all__ = [
+    "CampaignPlan", "CampaignUnit", "CheckpointStore", "Executor",
+    "ParallelExecutor", "SerialExecutor", "Shard", "ShardPlanner",
+    "run_campaign", "resume_campaign",
+    "resolve_memoize_threshold", "apply_memoize_threshold",
+    "DEFAULT_SHARD_SIZE", "MEMOIZE_THRESHOLD_ENV",
+    "PAPER_SAMPLE_SIZE", "PAPER_SAMPLED_BENCHMARKS",
+]

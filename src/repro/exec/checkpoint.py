@@ -1,0 +1,170 @@
+"""Resumable campaign checkpoints.
+
+A checkpoint directory makes an interrupted campaign cheap to finish: every completed
+shard is persisted immediately as a cache-file fragment (atomic write, deterministic
+bytes -- see :mod:`repro.io.cachefile`), and a manifest pins the exact shard plan the
+fragments belong to.  Because writes are atomic, a killed campaign leaves only
+complete fragments; resuming re-evaluates exactly the missing shards and the merged
+result is byte-identical to an uninterrupted run.
+
+Layout::
+
+    <directory>/
+        manifest.json        the serialized CampaignPlan
+        shard_00000.json     rows of shard 0 (value/valid/error triples)
+        shard_00001.json     ...
+
+The store is deliberately dumb: it knows nothing about executors or kernel models,
+only about plans, shards and rows.  Validation is strict -- a manifest that does not
+match the plan being run, or a fragment whose shape disagrees with its shard, raises
+:class:`~repro.core.errors.SerializationError` instead of silently merging wrong data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.core.errors import SerializationError
+from repro.exec.planner import CampaignPlan, Shard
+from repro.io.cachefile import load_fragment, load_manifest, save_fragment, save_manifest
+
+__all__ = ["CheckpointStore", "benchmark_fingerprint"]
+
+#: Manifest file name inside a checkpoint directory.
+MANIFEST_NAME = "manifest.json"
+
+
+def benchmark_fingerprint(benchmark: Any) -> str:
+    """Digest of a benchmark's search space + workload.
+
+    Fragments are only meaningful against the exact space (index decoding) and
+    workload (model inputs) they were evaluated with; this digest is what manifests
+    record to detect divergence on resume.
+    """
+    payload = {"space": benchmark.space.to_dict(),
+               "workload": dict(benchmark.workload.sizes)}
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """Fragment + manifest persistence for one campaign run.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory (created on first write).
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------- manifest
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def has_manifest(self) -> bool:
+        return self.manifest_path.exists()
+
+    def load_plan(self) -> CampaignPlan:
+        """The plan this checkpoint directory belongs to."""
+        return CampaignPlan.from_dict(load_manifest(self.manifest_path)["plan"])
+
+    def initialize(self, plan: CampaignPlan,
+                   fingerprints: Mapping[str, str] | None = None) -> None:
+        """Bind the directory to ``plan``: write the manifest or validate a match.
+
+        A directory already bound to a *different* plan is refused -- merging
+        fragments of one campaign into another would corrupt both.  Likewise a
+        benchmark whose space/workload fingerprint differs from the recorded one:
+        its fragments carry rows evaluated against a different definition, and
+        merging them would silently attach measurements to the wrong
+        configurations.
+        """
+        if self.has_manifest():
+            existing = load_manifest(self.manifest_path)
+            if existing["plan"] != plan.to_dict():
+                raise SerializationError(
+                    f"checkpoint directory {self.directory} belongs to a different "
+                    f"campaign plan; use a fresh directory (or `resume` to continue "
+                    f"the existing one)")
+            stored = existing["fingerprints"]
+            if stored and fingerprints is not None:
+                diverged = [name for name, digest in fingerprints.items()
+                            if name in stored and stored[name] != digest]
+                if diverged:
+                    raise SerializationError(
+                        f"checkpoint directory {self.directory} was written with "
+                        f"different definitions of {sorted(diverged)} (space or "
+                        f"workload changed); its fragments cannot be merged with "
+                        f"the current benchmarks")
+            return
+        save_manifest(self.manifest_path, plan.to_dict(), fingerprints)
+
+    # ------------------------------------------------------------------ fragments
+
+    def fragment_path(self, shard: Shard) -> Path:
+        return self.directory / shard.fragment_name
+
+    def completed_shard_ids(self, plan: CampaignPlan) -> set[int]:
+        """IDs of plan shards whose fragment is present on disk."""
+        return {s.shard_id for s in plan.shards if self.fragment_path(s).exists()}
+
+    def save_shard(self, shard: Shard,
+                   rows: Sequence[tuple[float, bool, str]]) -> Path:
+        """Atomically persist the rows of one completed shard."""
+        if len(rows) != shard.n_configs:
+            raise SerializationError(
+                f"shard {shard.shard_id} produced {len(rows)} rows, "
+                f"expected {shard.n_configs}")
+        return save_fragment(self.fragment_path(shard), shard.to_dict(), rows)
+
+    def load_shard(self, shard: Shard) -> list[tuple[float, bool, str]]:
+        """Load and validate the rows of one completed shard."""
+        meta, rows = load_fragment(self.fragment_path(shard))
+        if (meta.get("shard_id") != shard.shard_id
+                or meta.get("benchmark") != shard.benchmark
+                or meta.get("gpu") != shard.gpu
+                or meta.get("start") != shard.start
+                or meta.get("stop") != shard.stop):
+            raise SerializationError(
+                f"fragment {self.fragment_path(shard)} describes shard "
+                f"{meta}, expected {shard.to_dict()}")
+        if len(rows) != shard.n_configs:
+            raise SerializationError(
+                f"fragment {self.fragment_path(shard)} has {len(rows)} rows, "
+                f"expected {shard.n_configs}")
+        return rows
+
+    # --------------------------------------------------------------------- status
+
+    def status(self, plan: CampaignPlan | None = None) -> dict[str, object]:
+        """Completion summary of the checkpoint directory.
+
+        Returns per-unit completed/total shard counts plus campaign totals; used by
+        the ``status`` CLI subcommand and by tests.
+        """
+        if plan is None:
+            plan = self.load_plan()
+        done = self.completed_shard_ids(plan)
+        units = []
+        for unit in plan.units:
+            shards = plan.shards_of(unit)
+            completed = [s for s in shards if s.shard_id in done]
+            units.append({
+                "benchmark": unit.benchmark, "gpu": unit.gpu,
+                "shards_completed": len(completed), "shards_total": len(shards),
+                "configs_completed": sum(s.n_configs for s in completed),
+                "configs_total": unit.n_configs,
+            })
+        return {
+            "directory": str(self.directory),
+            "shards_completed": len(done),
+            "shards_total": len(plan.shards),
+            "units": units,
+        }

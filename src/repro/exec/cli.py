@@ -1,0 +1,231 @@
+"""Command-line entry point of the campaign-execution subsystem.
+
+``python -m repro.exec`` is the first operational surface of the suite: it plans,
+runs, resumes and inspects measurement campaigns without writing any Python.
+
+Subcommands
+-----------
+
+``plan``
+    Print the deterministic shard plan of a campaign (units, counts, shards) without
+    evaluating anything.
+``run``
+    Execute a campaign (serial, or parallel with ``--workers N``), optionally
+    checkpointing shards and writing the merged caches as
+    ``<benchmark>_<gpu>.json[.gz]`` files.
+``resume``
+    Finish an interrupted ``run`` from its checkpoint directory; only missing shards
+    are evaluated and the merged caches are byte-identical to an uninterrupted run.
+``status``
+    Show per-unit completion of a checkpoint directory.
+
+Examples
+--------
+
+::
+
+    python -m repro.exec plan --benchmarks hotspot --gpus RTX_3090
+    python -m repro.exec run --benchmarks hotspot,expdist --workers 4 \
+        --checkpoint-dir ckpt/ --output-dir caches/
+    python -m repro.exec resume --checkpoint-dir ckpt/ --workers 4 --output-dir caches/
+    python -m repro.exec status --checkpoint-dir ckpt/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.core.errors import ReproError
+from repro.exec.checkpoint import CheckpointStore
+from repro.exec.config import resolve_memoize_threshold
+from repro.exec.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    resume_campaign,
+)
+from repro.exec.planner import PAPER_SAMPLE_SIZE, DEFAULT_SHARD_SIZE, ShardPlanner
+
+__all__ = ["main", "build_parser"]
+
+
+def _names(raw: str | None, known: Sequence[str], kind: str) -> list[str] | None:
+    """Parse a comma-separated name list, validating against the registry."""
+    if raw is None:
+        return None
+    names = [part.strip() for part in raw.split(",") if part.strip()]
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise ReproError(f"unknown {kind} {unknown}; known: {sorted(known)}")
+    return names
+
+
+def _select(mapping: Mapping[str, Any], names: list[str] | None) -> dict[str, Any]:
+    if names is None:
+        return dict(mapping)
+    return {name: mapping[name] for name in names}
+
+
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmarks", default=None, metavar="NAMES",
+                        help="comma-separated benchmark names (default: all seven)")
+    parser.add_argument("--gpus", default=None, metavar="NAMES",
+                        help="comma-separated GPU names (default: the paper's four)")
+    parser.add_argument("--sample-size", type=int, default=PAPER_SAMPLE_SIZE,
+                        help="unique configurations per sampled campaign "
+                             "(default: %(default)s, the paper's design)")
+    parser.add_argument("--exhaustive-limit", type=int, default=None,
+                        help="sample any space whose cardinality exceeds this "
+                             "(default: follow the paper exactly)")
+    parser.add_argument("--seed", type=int, default=2023,
+                        help="base campaign seed; each GPU gets seed+index "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-noise", action="store_true",
+                        help="disable the deterministic measurement-noise model")
+    parser.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE,
+                        help="maximum configurations per shard (default: %(default)s)")
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes; 1 runs serially (default: %(default)s)")
+    parser.add_argument("--memoize-threshold", type=int, default=None,
+                        help="feasible-set memoization ceiling for execution "
+                             "workers (overrides REPRO_MEMOIZE_THRESHOLD; default: "
+                             "the space's own threshold)")
+    parser.add_argument("--output-dir", default=None, metavar="DIR",
+                        help="write merged caches as <benchmark>_<gpu>.json[.gz] here")
+    parser.add_argument("--compress", action="store_true",
+                        help="gzip the cache files written to --output-dir")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-shard progress lines")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec",
+        description="Plan, run, resume and inspect measurement campaigns.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="print the shard plan of a campaign")
+    _add_campaign_arguments(plan)
+
+    run = sub.add_parser("run", help="execute a campaign")
+    _add_campaign_arguments(run)
+    _add_executor_arguments(run)
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="persist completed shards here for resume")
+
+    resume = sub.add_parser("resume", help="finish an interrupted campaign")
+    resume.add_argument("--checkpoint-dir", required=True, metavar="DIR")
+    _add_executor_arguments(resume)
+
+    status = sub.add_parser("status", help="show checkpoint completion")
+    status.add_argument("--checkpoint-dir", required=True, metavar="DIR")
+    return parser
+
+
+def _make_executor(args: argparse.Namespace) -> Executor:
+    threshold = resolve_memoize_threshold(args.memoize_threshold)
+    if args.workers > 1:
+        return ParallelExecutor(workers=args.workers, memoize_threshold=threshold)
+    return SerialExecutor(memoize_threshold=threshold)
+
+
+def _planner_from_args(args: argparse.Namespace) -> ShardPlanner:
+    from repro.gpus.specs import all_gpus
+    from repro.kernels import all_benchmarks
+
+    benchmarks = all_benchmarks()
+    gpus = all_gpus()
+    return ShardPlanner(
+        benchmarks=_select(benchmarks, _names(args.benchmarks, list(benchmarks),
+                                              "benchmarks")),
+        gpus=_select(gpus, _names(args.gpus, list(gpus), "GPUs")),
+        sample_size=args.sample_size,
+        exhaustive_limit=args.exhaustive_limit,
+        seed=args.seed,
+        with_noise=not args.no_noise,
+        shard_size=args.shard_size,
+    )
+
+
+def _print_plan_table(plan, out) -> None:
+    print(f"{'benchmark':>14} {'gpu':>12} {'mode':>16} {'seed':>6} "
+          f"{'configs':>9} {'shards':>7}", file=out)
+    for row in plan.summary_rows():
+        print(f"{row['benchmark']:>14} {row['gpu']:>12} {row['mode']:>16} "
+              f"{row['seed']:>6} {row['configs']:>9} {row['shards']:>7}", file=out)
+    print(f"total: {plan.n_configs} configurations in {len(plan.shards)} shards "
+          f"(shard size {plan.shard_size})", file=out)
+
+
+def _write_caches(caches, output_dir: str, compress: bool, out) -> None:
+    from repro.io.cachefile import save_cache
+
+    suffix = ".json.gz" if compress else ".json"
+    directory = Path(output_dir)
+    for (benchmark, gpu), cache in caches.items():
+        path = save_cache(cache, directory / f"{benchmark}_{gpu}{suffix}")
+        print(f"wrote {path} ({len(cache)} entries)", file=out)
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "plan":
+            _print_plan_table(_planner_from_args(args).plan(), out)
+            return 0
+
+        progress = None if getattr(args, "quiet", True) else (
+            lambda line: print(line, file=out))
+
+        if args.command == "run":
+            planner = _planner_from_args(args)
+            executor = _make_executor(args)
+            caches = executor.run(
+                planner.plan(), benchmarks=planner.benchmarks, gpus=planner.gpus,
+                checkpoint=args.checkpoint_dir, progress=progress)
+            # Persist before summarising: a summary hiccup must never discard a
+            # completed campaign's caches.
+            if args.output_dir:
+                _write_caches(caches, args.output_dir, args.compress, out)
+            for (benchmark, gpu), cache in caches.items():
+                best = (f"best {cache.optimum():.4f} ms" if cache.num_valid
+                        else "no valid entries")
+                print(f"{benchmark}/{gpu}: {len(cache)} entries, {best}", file=out)
+            return 0
+
+        if args.command == "resume":
+            executor = _make_executor(args)
+            caches = resume_campaign(args.checkpoint_dir, executor=executor,
+                                     progress=progress)
+            if args.output_dir:
+                _write_caches(caches, args.output_dir, args.compress, out)
+            for (benchmark, gpu), cache in caches.items():
+                print(f"{benchmark}/{gpu}: {len(cache)} entries", file=out)
+            return 0
+
+        if args.command == "status":
+            store = CheckpointStore(args.checkpoint_dir)
+            if not store.has_manifest():
+                print(f"no manifest in {args.checkpoint_dir}", file=out)
+                return 1
+            status = store.status()
+            for row in status["units"]:
+                print(f"{row['benchmark']:>14}/{row['gpu']:<12} "
+                      f"shards {row['shards_completed']:>4}/{row['shards_total']:<4} "
+                      f"configs {row['configs_completed']:>8}/{row['configs_total']:<8}",
+                      file=out)
+            print(f"total: {status['shards_completed']}/{status['shards_total']} "
+                  f"shards complete", file=out)
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,54 @@
+"""Configuration surface of the campaign-execution subsystem.
+
+The execution layer is the first operational entry point of the suite, so it is also
+where deployment-facing knobs live.  Currently that is the feasible-set memoization
+threshold of :class:`~repro.core.searchspace.SearchSpace`: memory-constrained workers
+may want to lower it, exhaustive-analysis boxes may want to raise it.  Resolution
+order is explicit value (CLI flag) > ``REPRO_MEMOIZE_THRESHOLD`` environment variable
+> the space's own default -- both the CLI and the worker initializer of
+:mod:`repro.exec.worker` resolve through this module so the two surfaces cannot
+disagree.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.core.errors import ReproError
+from repro.core.searchspace import SearchSpace
+
+__all__ = ["MEMOIZE_THRESHOLD_ENV", "resolve_memoize_threshold", "apply_memoize_threshold"]
+
+#: Environment variable overriding the feasible-set memoization threshold in
+#: execution workers (and anything else that resolves through this module).
+MEMOIZE_THRESHOLD_ENV = "REPRO_MEMOIZE_THRESHOLD"
+
+
+def resolve_memoize_threshold(explicit: int | None = None) -> int | None:
+    """The memoization threshold to apply, or None to keep each space's default.
+
+    Parameters
+    ----------
+    explicit:
+        Value from a CLI flag or API call; takes precedence over the environment.
+    """
+    if explicit is not None:
+        return int(explicit)
+    raw = os.environ.get(MEMOIZE_THRESHOLD_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ReproError(
+            f"{MEMOIZE_THRESHOLD_ENV}={raw!r} is not an integer") from None
+
+
+def apply_memoize_threshold(spaces: Iterable[SearchSpace],
+                            threshold: int | None) -> None:
+    """Set ``memoize_threshold`` on every space (no-op when ``threshold`` is None)."""
+    if threshold is None:
+        return
+    for space in spaces:
+        space.memoize_threshold = int(threshold)

@@ -1,0 +1,388 @@
+"""Campaign executors: serial reference and process-pool parallel execution.
+
+An executor takes a :class:`~repro.exec.planner.CampaignPlan` and produces the same
+``{(benchmark, gpu): EvaluationCache}`` mapping the serial campaign code builds --
+*byte-identical*, down to the JSON the caches serialize to.  The contract rests on
+three facts the planner and worker modules establish:
+
+1. each unit's evaluation order is a pure function of the campaign definition
+   (ascending feasible set, or the seeded unique-sampling stream);
+2. each configuration's measurement is a pure function of (benchmark, GPU,
+   configuration) -- the noise model is hash-based and process-stable;
+3. shards partition the evaluation order into contiguous slices, so merging rows in
+   shard order reconstructs the serial insertion order exactly (including
+   ``evaluation_index`` assignment).
+
+:class:`SerialExecutor` evaluates shards in-process and is the reference
+implementation; :class:`ParallelExecutor` fans shards out over a
+:class:`concurrent.futures.ProcessPoolExecutor` whose workers rebuild the benchmark
+registry by name (see :mod:`repro.exec.worker`).  Both support checkpointing: every
+completed shard is persisted immediately, and shards whose fragment already exists
+are loaded instead of re-evaluated -- which is all "resume" means.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.cache import EvaluationCache
+from repro.core.errors import ReproError
+from repro.exec.checkpoint import CheckpointStore, benchmark_fingerprint
+from repro.exec.config import apply_memoize_threshold, resolve_memoize_threshold
+from repro.exec.planner import CampaignPlan, CampaignUnit, Shard, ShardPlanner, unit_indices
+from repro.exec.worker import evaluate_shard, init_worker
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "run_campaign",
+           "resume_campaign"]
+
+Progress = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One shard to evaluate, with everything an executor needs resolved."""
+
+    shard: Shard
+    unit: CampaignUnit
+    benchmark: Any
+    gpu: Any
+    indices: np.ndarray
+
+
+class Executor(abc.ABC):
+    """Base class of campaign executors.
+
+    Parameters
+    ----------
+    memoize_threshold:
+        Explicit feasible-set memoization ceiling; None resolves through the
+        ``REPRO_MEMOIZE_THRESHOLD`` environment variable (see
+        :mod:`repro.exec.config`) and falls back to each space's default.
+    """
+
+    def __init__(self, memoize_threshold: int | None = None):
+        self.memoize_threshold = resolve_memoize_threshold(memoize_threshold)
+
+    # ------------------------------------------------------------------ protocol
+
+    @abc.abstractmethod
+    def _run_shards(self, tasks: list[_ShardTask],
+                    on_complete: Callable[[Shard, list[tuple[float, bool, str]]], None]) -> None:
+        """Evaluate every task, invoking ``on_complete(shard, rows)`` per shard."""
+
+    def map(self, fn: Callable[[Any], Any], iterable: Iterable[Any]) -> list[Any]:
+        """Generic in-process task mapping (usable as the
+        :func:`repro.core.runner.run_matrix` hook; process-pool overrides
+        additionally require ``fn`` and the items to pickle)."""
+        return [fn(item) for item in iterable]
+
+    # ----------------------------------------------------------------------- run
+
+    def run(self, plan: CampaignPlan,
+            benchmarks: Mapping[str, Any] | None = None,
+            gpus: Mapping[str, Any] | None = None,
+            checkpoint: CheckpointStore | str | None = None,
+            progress: Progress | None = None,
+            only_units: Iterable[tuple[str, str]] | None = None,
+            ) -> dict[tuple[str, str], EvaluationCache]:
+        """Execute ``plan`` and return the merged caches keyed ``(benchmark, gpu)``.
+
+        Parameters
+        ----------
+        plan:
+            The shard plan to execute.
+        benchmarks / gpus:
+            Name->object mappings used for index decoding and merging (default: the
+            registries).  Parallel workers always rebuild from the registries.
+        checkpoint:
+            Optional :class:`CheckpointStore` (or directory path): completed shards
+            are persisted as fragments, and existing fragments are loaded instead of
+            re-evaluated.
+        progress:
+            Optional callable receiving one human-readable line per completed shard.
+        only_units:
+            Optional subset of unit keys to execute and merge.  The checkpoint
+            manifest still binds the *whole* plan (missing fragments are exactly
+            what resume tolerates), which is how a checkpointed
+            :class:`~repro.analysis.campaign.Campaign` stays lazy per pair.
+        """
+        if benchmarks is None:
+            from repro.kernels import all_benchmarks
+            benchmarks = all_benchmarks()
+        if gpus is None:
+            from repro.gpus.specs import all_gpus
+            gpus = all_gpus()
+        missing = {u.benchmark for u in plan.units} - set(benchmarks)
+        if missing:
+            raise ReproError(f"plan references unknown benchmarks {sorted(missing)}")
+        missing_gpus = {u.gpu for u in plan.units} - set(gpus)
+        if missing_gpus:
+            raise ReproError(f"plan references unknown GPUs {sorted(missing_gpus)}")
+        if only_units is None:
+            units = list(plan.units)
+        else:
+            selected = set(only_units)
+            units = [u for u in plan.units if u.key in selected]
+            unknown_units = selected - {u.key for u in plan.units}
+            if unknown_units:
+                raise ReproError(f"plan has no units {sorted(unknown_units)}")
+        apply_memoize_threshold(
+            (benchmarks[name].space for name in {u.benchmark for u in plan.units}),
+            self.memoize_threshold)
+
+        if isinstance(checkpoint, (str,)) or hasattr(checkpoint, "__fspath__"):
+            checkpoint = CheckpointStore(checkpoint)
+        if checkpoint is not None:
+            checkpoint.initialize(plan, fingerprints={
+                name: benchmark_fingerprint(benchmarks[name])
+                for name in {u.benchmark for u in plan.units}})
+            done = checkpoint.completed_shard_ids(plan)
+        else:
+            done = set()
+
+        # Each unit's evaluation order is computed once, in the parent, and sliced
+        # per shard -- workers only ever see raw index arrays.  Exhaustive units of
+        # the same benchmark visit the same feasible set regardless of GPU, so that
+        # array is computed once per benchmark, not once per unit.
+        indices_by_unit: dict[tuple[str, str], np.ndarray] = {}
+        exhaustive_by_benchmark: dict[str, np.ndarray] = {}
+        for unit in units:
+            if unit.exhaustive and unit.benchmark in exhaustive_by_benchmark:
+                indices_by_unit[unit.key] = exhaustive_by_benchmark[unit.benchmark]
+            else:
+                indices_by_unit[unit.key] = unit_indices(
+                    benchmarks[unit.benchmark].space, unit)
+                if unit.exhaustive:
+                    exhaustive_by_benchmark[unit.benchmark] = indices_by_unit[unit.key]
+            if indices_by_unit[unit.key].size != unit.n_configs:
+                raise ReproError(
+                    f"unit {unit.key} produced {indices_by_unit[unit.key].size} "
+                    f"indices, plan expects {unit.n_configs}; the plan was built "
+                    f"against a different space or seed")
+
+        units_by_key = {u.key: u for u in units}
+        rows_by_shard: dict[int, list[tuple[float, bool, str]]] = {}
+        configs_by_shard: dict[int, list[Mapping[str, Any]]] = {}
+        tasks: list[_ShardTask] = []
+        for shard in plan.shards:
+            if shard.unit_key not in units_by_key:
+                continue
+            if shard.shard_id in done:
+                rows_by_shard[shard.shard_id] = checkpoint.load_shard(shard)
+                continue
+            unit = units_by_key[shard.unit_key]
+            tasks.append(_ShardTask(
+                shard=shard, unit=unit,
+                benchmark=benchmarks[shard.benchmark], gpu=gpus[shard.gpu],
+                indices=indices_by_unit[shard.unit_key][shard.start:shard.stop]))
+
+        def on_complete(shard: Shard, rows: list[tuple[float, bool, str]],
+                        configs: list[Mapping[str, Any]] | None = None) -> None:
+            if len(rows) != shard.n_configs:
+                raise ReproError(
+                    f"shard {shard.shard_id} returned {len(rows)} rows, "
+                    f"expected {shard.n_configs}")
+            rows_by_shard[shard.shard_id] = rows
+            if configs is not None:
+                # In-process executors hand their decoded configurations through
+                # so the merge does not pay a second index decode.
+                configs_by_shard[shard.shard_id] = configs
+            if checkpoint is not None:
+                checkpoint.save_shard(shard, rows)
+            if progress is not None:
+                progress(f"shard {shard.shard_id:>5} done  "
+                         f"[{shard.benchmark}/{shard.gpu} "
+                         f"{shard.start}:{shard.stop}]")
+
+        if tasks:
+            self._run_shards(tasks, on_complete)
+
+        return self._merge(plan, units, benchmarks, gpus, indices_by_unit,
+                           rows_by_shard, configs_by_shard)
+
+    # --------------------------------------------------------------------- merge
+
+    @staticmethod
+    def _merge(plan: CampaignPlan, units: list[CampaignUnit],
+               benchmarks: Mapping[str, Any], gpus: Mapping[str, Any],
+               indices_by_unit: Mapping[tuple[str, str], np.ndarray],
+               rows_by_shard: Mapping[int, list[tuple[float, bool, str]]],
+               configs_by_shard: Mapping[int, list[Mapping[str, Any]]],
+               ) -> dict[tuple[str, str], EvaluationCache]:
+        """Merge shard rows into campaign caches, in serial insertion order."""
+        caches: dict[tuple[str, str], EvaluationCache] = {}
+        for unit in units:
+            benchmark = benchmarks[unit.benchmark]
+            gpu = gpus[unit.gpu]
+            cache = benchmark.new_cache(gpu, sample_size=unit.sample_size)
+            indices = indices_by_unit[unit.key]
+            for shard in plan.shards_of(unit):
+                configs = configs_by_shard.get(shard.shard_id)
+                if configs is None:
+                    configs = benchmark.space.configs_at(
+                        indices[shard.start:shard.stop])
+                rows = rows_by_shard[shard.shard_id]
+                for config, (value, valid, error) in zip(configs, rows):
+                    cache.add(config, value, valid=valid, error=error)
+            caches[unit.key] = cache
+        return caches
+
+
+class SerialExecutor(Executor):
+    """Reference executor: evaluates every shard in-process, in plan order.
+
+    Byte-identical to :meth:`KernelBenchmark.build_cache` per unit (asserted by
+    tests); exists so the parallel path has a same-code-path baseline to be compared
+    against, and so checkpointing/resume work without a worker pool.
+    """
+
+    def _run_shards(self, tasks, on_complete):
+        for task in tasks:
+            configs = task.benchmark.space.configs_at(task.indices)
+            rows = task.benchmark.evaluate_batch(task.gpu, configs,
+                                                 with_noise=task.unit.with_noise)
+            on_complete(task.shard, rows, configs)
+
+
+class ParallelExecutor(Executor):
+    """Process-pool executor: fans shards out over worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (the paper-scale campaign saturates at ~#physical-cores).
+    memoize_threshold:
+        See :class:`Executor`; forwarded to worker initializers.
+    workload_overrides:
+        Per-benchmark factory keyword overrides forwarded to workers, for callers
+        that run non-default workloads (must match the parent's ``benchmarks``
+        mapping or rows will diverge from the serial path).
+    mp_context:
+        Optional :mod:`multiprocessing` context (e.g. ``get_context("spawn")``).
+
+    Notes
+    -----
+    Workers rebuild benchmarks *by name* from the registry, so every benchmark in the
+    plan must be registry-resolvable; custom benchmark objects require the
+    :class:`SerialExecutor` (or registration).
+    """
+
+    def __init__(self, workers: int = 4, memoize_threshold: int | None = None,
+                 workload_overrides: Mapping[str, Mapping[str, Any]] | None = None,
+                 mp_context: Any = None):
+        super().__init__(memoize_threshold=memoize_threshold)
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.workload_overrides = ({k: dict(v) for k, v in workload_overrides.items()}
+                                   if workload_overrides else None)
+        self.mp_context = mp_context
+
+    def _check_registry_resolvable(self, tasks: list[_ShardTask]) -> None:
+        """Workers must be able to rebuild *these exact* benchmarks by name.
+
+        A name collision is not enough: a caller's benchmark object carrying a
+        custom workload (or a diverged space) under a registry name would be
+        silently replaced by the default-workload rebuild in every worker, so the
+        parent's objects are compared against what :func:`init_worker` will
+        construct and any mismatch is refused loudly.
+        """
+        from repro.kernels import BENCHMARK_NAMES, all_benchmarks
+
+        by_name = {t.shard.benchmark: t.benchmark for t in tasks}
+        unknown = set(by_name) - set(BENCHMARK_NAMES)
+        if unknown:
+            raise ReproError(
+                f"ParallelExecutor workers rebuild benchmarks from the registry and "
+                f"cannot resolve {sorted(unknown)}; use SerialExecutor for custom "
+                f"benchmark objects")
+        rebuilt = all_benchmarks(**(self.workload_overrides or {}))
+        for name, benchmark in by_name.items():
+            if (dict(benchmark.workload.sizes) != dict(rebuilt[name].workload.sizes)
+                    or benchmark.space.to_dict() != rebuilt[name].space.to_dict()):
+                raise ReproError(
+                    f"benchmark {name!r} differs from what workers would rebuild "
+                    f"(custom workload or space under a registry name); pass "
+                    f"matching workload_overrides= to ParallelExecutor, or use "
+                    f"SerialExecutor")
+
+    def _run_shards(self, tasks, on_complete):
+        self._check_registry_resolvable(tasks)
+        with ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self.mp_context,
+                initializer=init_worker,
+                initargs=(self.memoize_threshold, self.workload_overrides)) as pool:
+            pending = {}
+            for task in tasks:
+                future = pool.submit(evaluate_shard, task.shard.benchmark,
+                                     task.shard.gpu, task.indices,
+                                     task.unit.with_noise)
+                pending[future] = task.shard
+            # Checkpoint fragments land as soon as their shard finishes (not at
+            # pool teardown), so a kill mid-campaign loses at most the in-flight
+            # shards.
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    shard = pending.pop(future)
+                    on_complete(shard, future.result())
+
+    def map(self, fn, iterable):
+        """Parallel task mapping over the worker pool (``fn`` must pickle)."""
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=self.mp_context) as pool:
+            return list(pool.map(fn, iterable))
+
+
+# ------------------------------------------------------------------- conveniences
+
+
+def run_campaign(benchmarks: Mapping[str, Any] | None = None,
+                 gpus: Mapping[str, Any] | None = None,
+                 sample_size: int | None = None,
+                 exhaustive_limit: int | None = None,
+                 seed: int = 2023, with_noise: bool = True,
+                 shard_size: int | None = None,
+                 executor: Executor | None = None,
+                 checkpoint: CheckpointStore | str | None = None,
+                 progress: Progress | None = None,
+                 ) -> dict[tuple[str, str], EvaluationCache]:
+    """Plan and execute a campaign in one call (the API behind the ``run`` CLI)."""
+    planner_kwargs: dict[str, Any] = {
+        "benchmarks": benchmarks, "gpus": gpus, "exhaustive_limit": exhaustive_limit,
+        "seed": seed, "with_noise": with_noise,
+    }
+    if sample_size is not None:
+        planner_kwargs["sample_size"] = sample_size
+    if shard_size is not None:
+        planner_kwargs["shard_size"] = shard_size
+    planner = ShardPlanner(**planner_kwargs)
+    executor = executor or SerialExecutor()
+    return executor.run(planner.plan(), benchmarks=planner.benchmarks,
+                        gpus=planner.gpus, checkpoint=checkpoint, progress=progress)
+
+
+def resume_campaign(checkpoint: CheckpointStore | str,
+                    executor: Executor | None = None,
+                    benchmarks: Mapping[str, Any] | None = None,
+                    gpus: Mapping[str, Any] | None = None,
+                    progress: Progress | None = None,
+                    ) -> dict[tuple[str, str], EvaluationCache]:
+    """Finish an interrupted campaign from its checkpoint directory.
+
+    The plan is read back from the manifest; shards with an existing fragment are
+    loaded, the rest are evaluated, and the merged caches are byte-identical to an
+    uninterrupted run.
+    """
+    if not isinstance(checkpoint, CheckpointStore):
+        checkpoint = CheckpointStore(checkpoint)
+    plan = checkpoint.load_plan()
+    executor = executor or SerialExecutor()
+    return executor.run(plan, benchmarks=benchmarks, gpus=gpus,
+                        checkpoint=checkpoint, progress=progress)

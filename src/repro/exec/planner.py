@@ -1,0 +1,321 @@
+"""Deterministic shard planning for measurement campaigns.
+
+A campaign -- the paper's per-(benchmark, GPU) evaluation design -- is an
+embarrassingly parallel workload once its evaluation order is pinned down: every
+configuration it will visit is identified by a mixed-radix index of the benchmark's
+:class:`~repro.core.searchspace.SearchSpace`, and the order is a pure function of the
+campaign definition (exhaustive campaigns visit the ascending feasible set, sampled
+campaigns visit the unique-rejection-sampling stream of their seed).  The planner
+exploits that:
+
+* a :class:`CampaignUnit` fixes one (benchmark, GPU) pair's design -- sample size
+  (None = exhaustive), seed, noise flag -- and its exact evaluation count;
+* a :class:`Shard` is a contiguous slice ``[start, stop)`` of one unit's
+  evaluation-order index array, the atom of distribution and checkpointing;
+* a :class:`CampaignPlan` is the ordered list of units and shards plus the settings
+  that produced them; it serializes to JSON, which is what checkpoint manifests store
+  and what ``python -m repro.exec plan`` prints.
+
+Because shard boundaries are deterministic offsets into a deterministic evaluation
+order, *any* executor that evaluates every shard and merges the rows in shard order
+reproduces the serial campaign byte for byte -- the invariant the executor tests
+assert and the checkpoint/resume machinery relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.searchspace import SearchSpace
+
+__all__ = [
+    "PAPER_SAMPLED_BENCHMARKS", "PAPER_SAMPLE_SIZE", "DEFAULT_SHARD_SIZE",
+    "CampaignUnit", "Shard", "CampaignPlan", "ShardPlanner", "unit_indices",
+]
+
+#: Benchmarks the paper samples (10 000 random configurations) instead of enumerating.
+PAPER_SAMPLED_BENCHMARKS: frozenset[str] = frozenset({"hotspot", "dedispersion", "expdist"})
+
+#: Number of random configurations per sampled campaign in the paper.
+PAPER_SAMPLE_SIZE: int = 10_000
+
+#: Default shard length: small enough that a 10k-sample unit splits across a worker
+#: pool, large enough that per-shard dispatch overhead stays negligible.
+DEFAULT_SHARD_SIZE: int = 2_500
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """The evaluation design of one (benchmark, GPU) pair.
+
+    Attributes
+    ----------
+    benchmark / gpu:
+        Canonical names (workers re-resolve them against the registries).
+    sample_size:
+        Unique random configurations to draw, or None for exhaustive enumeration.
+    seed:
+        Seed of the sampled index stream (ignored for exhaustive units but kept so
+        the manifest fully describes the campaign).
+    with_noise:
+        Whether the simulated measurements include the deterministic noise model.
+    n_configs:
+        Exact number of configurations this unit evaluates (feasible count for
+        exhaustive units, ``sample_size`` otherwise).
+    """
+
+    benchmark: str
+    gpu: str
+    sample_size: int | None
+    seed: int
+    with_noise: bool
+    n_configs: int
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Dictionary key used for caches and merges: ``(benchmark, gpu)``."""
+        return (self.benchmark, self.gpu)
+
+    @property
+    def exhaustive(self) -> bool:
+        """True when this unit enumerates the whole feasible set."""
+        return self.sample_size is None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"benchmark": self.benchmark, "gpu": self.gpu,
+                "sample_size": self.sample_size, "seed": self.seed,
+                "with_noise": self.with_noise, "n_configs": self.n_configs}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignUnit":
+        return cls(benchmark=data["benchmark"], gpu=data["gpu"],
+                   sample_size=data["sample_size"], seed=int(data["seed"]),
+                   with_noise=bool(data["with_noise"]), n_configs=int(data["n_configs"]))
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of a unit's evaluation order -- the unit of work.
+
+    ``start``/``stop`` are offsets into the unit's evaluation-order index array (not
+    raw mixed-radix indices), so a shard is meaningful without materialising that
+    array and fragments can validate their length against ``stop - start``.
+    """
+
+    shard_id: int
+    benchmark: str
+    gpu: str
+    start: int
+    stop: int
+
+    @property
+    def unit_key(self) -> tuple[str, str]:
+        return (self.benchmark, self.gpu)
+
+    @property
+    def n_configs(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def fragment_name(self) -> str:
+        """Checkpoint fragment file name for this shard."""
+        return f"shard_{self.shard_id:05d}.json"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"shard_id": self.shard_id, "benchmark": self.benchmark,
+                "gpu": self.gpu, "start": self.start, "stop": self.stop}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Shard":
+        return cls(shard_id=int(data["shard_id"]), benchmark=data["benchmark"],
+                   gpu=data["gpu"], start=int(data["start"]), stop=int(data["stop"]))
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """An ordered, serializable description of every shard of a campaign."""
+
+    units: tuple[CampaignUnit, ...]
+    shards: tuple[Shard, ...]
+    shard_size: int
+
+    @property
+    def n_configs(self) -> int:
+        """Total number of configurations the campaign evaluates."""
+        return sum(u.n_configs for u in self.units)
+
+    def unit(self, benchmark: str, gpu: str) -> CampaignUnit:
+        for u in self.units:
+            if u.key == (benchmark, gpu):
+                return u
+        raise ReproError(f"plan has no unit ({benchmark}, {gpu})")
+
+    def shards_of(self, unit: CampaignUnit) -> list[Shard]:
+        """Shards of one unit, in evaluation (offset) order."""
+        return sorted((s for s in self.shards if s.unit_key == unit.key),
+                      key=lambda s: s.start)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"shard_size": self.shard_size,
+                "units": [u.to_dict() for u in self.units],
+                "shards": [s.to_dict() for s in self.shards]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignPlan":
+        return cls(units=tuple(CampaignUnit.from_dict(d) for d in data["units"]),
+                   shards=tuple(Shard.from_dict(d) for d in data["shards"]),
+                   shard_size=int(data["shard_size"]))
+
+    def summary_rows(self) -> list[dict[str, Any]]:
+        """One row per unit for reports and the ``plan``/``status`` CLI."""
+        rows = []
+        for u in self.units:
+            rows.append({
+                "benchmark": u.benchmark, "gpu": u.gpu,
+                "mode": "exhaustive" if u.exhaustive else f"sampled({u.sample_size})",
+                "seed": u.seed, "configs": u.n_configs,
+                "shards": len(self.shards_of(u)),
+            })
+        return rows
+
+
+def unit_indices(space: SearchSpace, unit: CampaignUnit) -> np.ndarray:
+    """The unit's evaluation-order mixed-radix index array.
+
+    Exhaustive units visit the ascending feasible set; sampled units replay the
+    batched unique rejection-sampling stream of ``unit.seed`` -- exactly the
+    configurations, in exactly the order, that
+    :meth:`~repro.kernels.base.KernelBenchmark.build_cache` evaluates serially.
+    """
+    if unit.exhaustive:
+        feasible = space.feasible_indices(force=True)
+        if space.cardinality > space.memoize_threshold:
+            # Dropping the memo reference does not invalidate our local one; no
+            # copy, so peak memory stays one index array.
+            space.release_feasible_memo()
+        return feasible
+    return space.sample_indices(unit.sample_size, rng=unit.seed,
+                                valid_only=True, unique=True)
+
+
+class ShardPlanner:
+    """Splits a campaign into deterministic shards.
+
+    Parameters mirror :class:`~repro.analysis.campaign.Campaign` (which delegates its
+    design decisions here): ``sampled_benchmarks`` are always sampled,
+    ``exhaustive_limit`` forces sampling above a cardinality ceiling, and each GPU's
+    sampled stream is seeded ``seed + index`` with GPUs in sorted-name order.
+
+    Parameters
+    ----------
+    benchmarks:
+        Mapping of benchmark name to :class:`~repro.kernels.base.KernelBenchmark`
+        (default: the full registry).
+    gpus:
+        Mapping of GPU name to spec (default: the paper's four GPUs).
+    sample_size:
+        Unique configurations per sampled campaign (paper: 10 000).
+    exhaustive_limit:
+        Benchmarks whose cardinality exceeds this are sampled even if the paper
+        enumerates them; None follows the paper exactly.
+    seed:
+        Base seed (each GPU gets ``seed + index``).
+    with_noise:
+        Whether measurements include the deterministic noise model.
+    shard_size:
+        Maximum configurations per shard.
+    """
+
+    def __init__(self, benchmarks: Mapping[str, Any] | None = None,
+                 gpus: Mapping[str, Any] | None = None,
+                 sample_size: int = PAPER_SAMPLE_SIZE,
+                 exhaustive_limit: int | None = None,
+                 seed: int = 2023, with_noise: bool = True,
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 sampled_benchmarks: frozenset[str] = PAPER_SAMPLED_BENCHMARKS):
+        if benchmarks is None:
+            from repro.kernels import all_benchmarks
+            benchmarks = all_benchmarks()
+        if gpus is None:
+            from repro.gpus.specs import all_gpus
+            gpus = all_gpus()
+        if shard_size <= 0:
+            raise ReproError(f"shard_size must be positive, got {shard_size}")
+        self.benchmarks = dict(benchmarks)
+        self.gpus = dict(gpus)
+        self.sample_size = int(sample_size)
+        self.exhaustive_limit = exhaustive_limit
+        self.seed = int(seed)
+        self.with_noise = with_noise
+        self.shard_size = int(shard_size)
+        self.sampled_benchmarks = frozenset(sampled_benchmarks)
+        self._exhaustive_counts: dict[str, int] = {}
+
+    # -------------------------------------------------------------------- design
+
+    def is_sampled(self, benchmark_name: str) -> bool:
+        """True when the campaign for this benchmark uses random sampling."""
+        if benchmark_name in self.sampled_benchmarks:
+            return True
+        if self.exhaustive_limit is not None:
+            return self.benchmarks[benchmark_name].space.cardinality > self.exhaustive_limit
+        return False
+
+    def unit_seed(self, gpu_name: str) -> int:
+        """Seed of one GPU's sampled streams (``seed + index``, sorted GPU names)."""
+        return self.seed + sorted(self.gpus).index(gpu_name)
+
+    def unit_for(self, benchmark_name: str, gpu_name: str) -> CampaignUnit:
+        """The campaign unit of one (benchmark, GPU) pair."""
+        benchmark = self.benchmarks[benchmark_name]
+        if gpu_name not in self.gpus:
+            raise ReproError(f"unknown GPU {gpu_name!r}; known: {sorted(self.gpus)}")
+        sampled = self.is_sampled(benchmark_name)
+        if sampled:
+            n_configs = self.sample_size
+        elif benchmark_name in self._exhaustive_counts:
+            n_configs = self._exhaustive_counts[benchmark_name]
+        else:
+            space = benchmark.space
+            feasible = space.feasible_indices(force=True)
+            n_configs = self._exhaustive_counts[benchmark_name] = int(feasible.size)
+            if space.cardinality > space.memoize_threshold:
+                # Counting must not permanently pin a memo the space's threshold
+                # says should stream; the per-benchmark count is memoized here
+                # instead.  Execution later re-enumerates once (the deliberate
+                # memory-over-time tradeoff of the threshold) -- above-threshold
+                # *exhaustive* units never occur in the paper design.
+                space.release_feasible_memo()
+        return CampaignUnit(benchmark=benchmark_name, gpu=gpu_name,
+                            sample_size=self.sample_size if sampled else None,
+                            seed=self.unit_seed(gpu_name),
+                            with_noise=self.with_noise, n_configs=n_configs)
+
+    def units(self) -> list[CampaignUnit]:
+        """Every (benchmark, GPU) unit, benchmarks in mapping order, GPUs sorted."""
+        return [self.unit_for(b, g) for b in self.benchmarks for g in sorted(self.gpus)]
+
+    # ---------------------------------------------------------------------- plans
+
+    def plan(self, units: Sequence[CampaignUnit] | None = None) -> CampaignPlan:
+        """Split the given units (default: all) into a deterministic shard plan."""
+        if units is None:
+            units = self.units()
+        shards: list[Shard] = []
+        shard_id = 0
+        for unit in units:
+            for start in range(0, unit.n_configs, self.shard_size):
+                stop = min(start + self.shard_size, unit.n_configs)
+                shards.append(Shard(shard_id=shard_id, benchmark=unit.benchmark,
+                                    gpu=unit.gpu, start=start, stop=stop))
+                shard_id += 1
+        return CampaignPlan(units=tuple(units), shards=tuple(shards),
+                            shard_size=self.shard_size)
+
+    def unit_indices(self, unit: CampaignUnit) -> np.ndarray:
+        """Evaluation-order index array of one unit (see :func:`unit_indices`)."""
+        return unit_indices(self.benchmarks[unit.benchmark].space, unit)

@@ -1,0 +1,68 @@
+"""Worker-process side of parallel campaign execution.
+
+Shard workers never receive live benchmark objects: compiled constraint code objects
+(and the closures built on them) do not pickle, and shipping them would tie the
+protocol to one process-start method.  Instead a worker receives *names* and rebuilds
+the registries once per process in :func:`init_worker`; a shard task is then just
+``(benchmark_name, gpu_name, index_array, with_noise)`` and its result a list of
+``(value, valid, error)`` rows.
+
+Determinism: a rebuilt benchmark is value-identical to the parent's (the registries
+are pure constructors), configurations are decoded from mixed-radix indices by the
+same columnar codec, and the noise model hashes with blake2b (process-stable, unlike
+``hash()``).  A worker therefore returns exactly the rows the parent would have
+computed serially -- the byte-identity contract of :mod:`repro.exec.executors`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.exec.config import apply_memoize_threshold
+
+__all__ = ["init_worker", "evaluate_shard"]
+
+#: Per-process registries, built lazily (or by the pool initializer).
+_BENCHMARKS: dict[str, Any] | None = None
+_GPUS: dict[str, Any] | None = None
+
+
+def init_worker(memoize_threshold: int | None = None,
+                workload_overrides: Mapping[str, Mapping[str, Any]] | None = None) -> None:
+    """Build the per-process benchmark/GPU registries.
+
+    Parameters
+    ----------
+    memoize_threshold:
+        Feasible-set memoization ceiling applied to every benchmark space (the
+        resolved value of the ``--memoize-threshold`` flag /
+        ``REPRO_MEMOIZE_THRESHOLD`` environment variable).
+    workload_overrides:
+        Per-benchmark factory keyword overrides (e.g. shrunken test workloads),
+        forwarded to :func:`repro.kernels.all_benchmarks`.
+    """
+    global _BENCHMARKS, _GPUS
+    from repro.gpus.specs import all_gpus
+    from repro.kernels import all_benchmarks
+
+    _BENCHMARKS = all_benchmarks(**{k: dict(v) for k, v in (workload_overrides or {}).items()})
+    _GPUS = all_gpus()
+    apply_memoize_threshold((b.space for b in _BENCHMARKS.values()), memoize_threshold)
+
+
+def evaluate_shard(benchmark_name: str, gpu_name: str,
+                   indices: Sequence[int] | np.ndarray,
+                   with_noise: bool = True) -> list[tuple[float, bool, str]]:
+    """Evaluate one shard's configurations; the task function submitted to pools.
+
+    Also callable in-process (it lazily initializes the registries), which is how the
+    configuration tests exercise worker behaviour without spawning a pool.
+    """
+    if _BENCHMARKS is None:
+        init_worker()
+    benchmark = _BENCHMARKS[benchmark_name]
+    gpu = _GPUS[gpu_name]
+    configs = benchmark.space.configs_at(np.asarray(indices, dtype=np.int64))
+    return benchmark.evaluate_batch(gpu, configs, with_noise=with_noise)

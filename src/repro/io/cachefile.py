@@ -4,52 +4,140 @@ A cache file stores one :class:`~repro.core.cache.EvaluationCache` -- the measur
 runtimes of one benchmark on one GPU -- as JSON, optionally gzip-compressed (the
 ``.json.gz`` suffix selects compression automatically).  The format is deliberately
 self-describing: it embeds the search-space definition, so a cache file can be analysed
-without the originating benchmark object (string-expression constraints round-trip;
-callable constraints degrade to their names).
+without the originating benchmark object.  String-expression constraints round-trip;
+callable constraints cannot (only their name is serialized) and are dropped with an
+explicit :class:`~repro.core.constraints.ConstraintSerializationWarning` on load unless
+a live ``space=`` is supplied.
+
+The module also provides the low-level persistence primitives the campaign-execution
+subsystem (:mod:`repro.exec`) builds on:
+
+* **atomic writes** -- every file is written to a temporary sibling and moved into
+  place with :func:`os.replace`, so readers never observe a torn file and an
+  interrupted campaign leaves either a complete fragment or none;
+* **deterministic bytes** -- gzip members are written with ``mtime=0``, so the same
+  cache always produces the same compressed bytes (the byte-identity contract between
+  serial and parallel execution extends to the files on disk);
+* **shard fragments** (:func:`save_fragment` / :func:`load_fragment`) -- the rows of
+  one completed shard, enough to rebuild its slice of the campaign cache without
+  re-evaluating;
+* **manifests** (:func:`save_manifest` / :func:`load_manifest`) -- the serialized
+  shard plan a checkpoint directory belongs to.
 """
 
 from __future__ import annotations
 
 import gzip
+import io
 import json
+import math
+import os
+import uuid
 from pathlib import Path
+from typing import Any, Mapping, Sequence
 
 from repro.core.cache import EvaluationCache
 from repro.core.errors import SerializationError
 from repro.core.searchspace import SearchSpace
 
-__all__ = ["save_cache", "load_cache"]
+__all__ = [
+    "save_cache", "load_cache",
+    "save_fragment", "load_fragment",
+    "save_manifest", "load_manifest",
+    "atomic_write_json", "read_json",
+]
 
 #: Format identifier written into every cache file.
 FORMAT_VERSION = 1
 
+#: Format identifier written into every shard fragment.
+FRAGMENT_VERSION = 1
 
-def _open_for_write(path: Path):
-    if path.suffix == ".gz":
-        return gzip.open(path, "wt", encoding="utf-8")
-    return open(path, "w", encoding="utf-8")
+#: Format identifier written into every checkpoint manifest.
+MANIFEST_VERSION = 1
 
 
-def _open_for_read(path: Path):
-    if path.suffix == ".gz":
-        return gzip.open(path, "rt", encoding="utf-8")
-    return open(path, "r", encoding="utf-8")
+# ------------------------------------------------------------------ JSON primitives
+
+
+def _encode_json_bytes(payload: Any, compress: bool) -> bytes:
+    text = json.dumps(payload)
+    raw = text.encode("utf-8")
+    if not compress:
+        return raw
+    buffer = io.BytesIO()
+    # mtime=0 keeps the compressed bytes a pure function of the payload.
+    with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
+        handle.write(raw)
+    return buffer.getvalue()
+
+
+def atomic_write_json(payload: Any, path: str | Path) -> Path:
+    """Write ``payload`` as JSON to ``path`` atomically (gzip when it ends in ``.gz``).
+
+    The bytes land in a temporary sibling first and are moved into place with
+    :func:`os.replace`, so a concurrent reader (or a crash) can never observe a
+    partially written file.  Parent directories are created as needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        data = _encode_json_bytes(payload, compress=path.suffix == ".gz")
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"could not serialize payload for {path}: {exc}") from exc
+    # O_CREAT with mode 0o666 lets the kernel apply the caller's umask atomically
+    # (mkstemp's 0600 would make shared cache directories unreadable to teammates,
+    # and probing the umask is a process-global race).
+    tmp_name = str(path.parent / f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+    try:
+        fd = os.open(tmp_name, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o666)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise SerializationError(f"could not write {path}: {exc}") from exc
+    return path
+
+
+def read_json(path: str | Path) -> Any:
+    """Read a JSON payload written by :func:`atomic_write_json`."""
+    path = Path(path)
+    try:
+        if path.suffix == ".gz":
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                return json.load(handle)
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"could not read {path}: {exc}") from exc
+
+
+def _expect_payload(payload: Any, path: Path, key: str, version_key: str,
+                    expected_version: int) -> Mapping[str, Any]:
+    if not isinstance(payload, dict) or key not in payload:
+        raise SerializationError(f"{path} is not a {key} file (missing {key!r} key)")
+    version = payload.get(version_key)
+    if version != expected_version:
+        raise SerializationError(
+            f"{path} has unsupported {key} format version {version!r} "
+            f"(expected {expected_version})")
+    return payload
+
+
+# ---------------------------------------------------------------------- cache files
 
 
 def save_cache(cache: EvaluationCache, path: str | Path) -> Path:
     """Write a campaign cache to ``path`` (gzip-compressed when it ends in ``.gz``).
 
-    Returns the path written.  Parent directories are created as needed.
+    The write is atomic and byte-deterministic.  Returns the path written.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {"format_version": FORMAT_VERSION, "cache": cache.to_dict()}
-    try:
-        with _open_for_write(path) as handle:
-            json.dump(payload, handle)
-    except (OSError, TypeError, ValueError) as exc:
-        raise SerializationError(f"could not write cache file {path}: {exc}") from exc
-    return path
+    return atomic_write_json(payload, path)
 
 
 def load_cache(path: str | Path, space: SearchSpace | None = None) -> EvaluationCache:
@@ -60,20 +148,87 @@ def load_cache(path: str | Path, space: SearchSpace | None = None) -> Evaluation
     path:
         File to read (gzip-compressed when it ends in ``.gz``).
     space:
-        Optional live search space to attach instead of the serialized one (keeps
-        callable constraints that JSON cannot represent).
+        Optional live search space to attach instead of the serialized one.  Supply it
+        to keep callable constraints, which JSON cannot represent -- without it they
+        are dropped with a
+        :class:`~repro.core.constraints.ConstraintSerializationWarning`.
     """
     path = Path(path)
-    try:
-        with _open_for_read(path) as handle:
-            payload = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        raise SerializationError(f"could not read cache file {path}: {exc}") from exc
-    if not isinstance(payload, dict) or "cache" not in payload:
-        raise SerializationError(f"{path} is not a cache file (missing 'cache' key)")
-    version = payload.get("format_version")
-    if version != FORMAT_VERSION:
-        raise SerializationError(
-            f"{path} has unsupported cache format version {version!r} "
-            f"(expected {FORMAT_VERSION})")
+    payload = _expect_payload(read_json(path), path, "cache", "format_version",
+                              FORMAT_VERSION)
     return EvaluationCache.from_dict(payload["cache"], space=space)
+
+
+# ------------------------------------------------------------------ shard fragments
+#
+# A fragment is the result of one completed shard: the (value, valid, error) rows of
+# its index slice, in evaluation order.  Values are stored as ``null`` when non-finite
+# so the files stay standard JSON.
+
+
+def save_fragment(path: str | Path, shard: Mapping[str, Any],
+                  rows: Sequence[tuple[float, bool, str]]) -> Path:
+    """Atomically persist the rows of one completed shard.
+
+    The only non-finite value a row may carry is ``+inf`` (the failed-launch
+    sentinel); NaN or ``-inf`` would come back as ``+inf`` after the JSON round
+    trip, silently breaking the resumed-vs-uninterrupted byte-identity contract,
+    so they are rejected here instead.
+    """
+    encoded = []
+    for value, valid, error in rows:
+        if math.isfinite(value):
+            encoded.append([value, bool(valid), error])
+        elif value == math.inf:
+            encoded.append([None, bool(valid), error])
+        else:
+            raise SerializationError(
+                f"fragment rows may not contain {value!r} (only finite values "
+                f"or +inf round-trip through {path})")
+    payload = {"fragment_version": FRAGMENT_VERSION, "shard": dict(shard),
+               "rows": encoded}
+    return atomic_write_json(payload, path)
+
+
+def load_fragment(path: str | Path) -> tuple[dict[str, Any], list[tuple[float, bool, str]]]:
+    """Read a fragment written by :func:`save_fragment`.
+
+    Returns the shard description and the decoded rows (``null`` values become
+    ``math.inf`` again).
+    """
+    path = Path(path)
+    payload = _expect_payload(read_json(path), path, "shard", "fragment_version",
+                              FRAGMENT_VERSION)
+    rows = [(math.inf if value is None else float(value), bool(valid), str(error))
+            for value, valid, error in payload.get("rows", ())]
+    return dict(payload["shard"]), rows
+
+
+# ----------------------------------------------------------------------- manifests
+
+
+def save_manifest(path: str | Path, plan: Mapping[str, Any],
+                  fingerprints: Mapping[str, str] | None = None) -> Path:
+    """Atomically persist the shard plan a checkpoint directory belongs to.
+
+    ``fingerprints`` (benchmark name -> digest of its space + workload) pins the
+    exact benchmark definitions the fragments were evaluated against, so a resume
+    with diverged definitions is refused instead of silently merging wrong rows.
+    """
+    payload = {"manifest_version": MANIFEST_VERSION, "plan": dict(plan),
+               "fingerprints": dict(fingerprints or {})}
+    return atomic_write_json(payload, path)
+
+
+def load_manifest(path: str | Path) -> dict[str, Any]:
+    """Read a manifest written by :func:`save_manifest`.
+
+    Returns a dict with ``"plan"`` (the serialized shard plan) and
+    ``"fingerprints"`` (possibly empty, for manifests written before the digests
+    existed).
+    """
+    path = Path(path)
+    payload = _expect_payload(read_json(path), path, "plan", "manifest_version",
+                              MANIFEST_VERSION)
+    return {"plan": dict(payload["plan"]),
+            "fingerprints": dict(payload.get("fingerprints", {}))}

@@ -161,6 +161,39 @@ class KernelBenchmark:
         """Full model estimate (time plus breakdown) of one configuration."""
         return self.model.estimate(config, gpu, with_noise=with_noise)
 
+    def evaluate_batch(self, gpu: GPUSpec, configs: Sequence[Mapping[str, Any]],
+                       with_noise: bool = True) -> list[tuple[float, bool, str]]:
+        """Evaluate many configurations and return ``(value, valid, error)`` rows.
+
+        This is the batched kernel-model call shared by :meth:`build_cache` and the
+        shard workers of :mod:`repro.exec`: configurations that cannot launch on the
+        device become ``(inf, False, reason)`` rows, exactly the shape
+        :meth:`~repro.core.cache.EvaluationCache.add` stores.  Keeping the loop (and
+        in particular the error strings) in one place is what makes parallel shard
+        evaluation byte-identical to the serial path.
+        """
+        rows: list[tuple[float, bool, str]] = []
+        for config in configs:
+            try:
+                rows.append((self.model.time_ms(config, gpu, with_noise=with_noise),
+                             True, ""))
+            except ResourceLimitError as exc:
+                rows.append((float("inf"), False, str(exc)))
+        return rows
+
+    def new_cache(self, gpu: GPUSpec, sample_size: int | None = None) -> EvaluationCache:
+        """An empty campaign cache with the canonical metadata for this benchmark.
+
+        Both :meth:`build_cache` and the shard-merge step of :mod:`repro.exec` create
+        their caches here so the metadata layout (and therefore the serialized bytes)
+        cannot drift apart.
+        """
+        cache = EvaluationCache(self.name, gpu.name, self.space,
+                                exhaustive=sample_size is None)
+        cache.metadata["workload"] = dict(self.workload.sizes)
+        cache.metadata["sample_size"] = sample_size
+        return cache
+
     def build_cache(self, gpu: GPUSpec, sample_size: int | None = None,
                     seed: int = 0, with_noise: bool = True) -> EvaluationCache:
         """Evaluate the benchmark on ``gpu`` and return the campaign cache.
@@ -173,11 +206,8 @@ class KernelBenchmark:
             random configurations are drawn (the paper uses 10 000 for Hotspot,
             Dedispersion and Expdist).
         """
-        exhaustive = sample_size is None
-        cache = EvaluationCache(self.name, gpu.name, self.space, exhaustive=exhaustive)
-        cache.metadata["workload"] = dict(self.workload.sizes)
-        cache.metadata["sample_size"] = sample_size
-        if exhaustive:
+        cache = self.new_cache(gpu, sample_size=sample_size)
+        if sample_size is None:
             # Prime the feasible-index memo (free below the memoization threshold):
             # enumeration then slices the cached array, and any later constrained
             # count or sample on the same space reuses it.
@@ -185,12 +215,10 @@ class KernelBenchmark:
             configs: Sequence[Mapping[str, Any]] = list(self.space.enumerate(valid_only=True))
         else:
             configs = self.space.sample(sample_size, rng=seed, valid_only=True, unique=True)
-        for config in configs:
-            try:
-                value = self.model.time_ms(config, gpu, with_noise=with_noise)
-                cache.add(config, value, valid=True)
-            except ResourceLimitError as exc:
-                cache.add(config, float("inf"), valid=False, error=str(exc))
+        for config, (value, valid, error) in zip(configs,
+                                                 self.evaluate_batch(gpu, configs,
+                                                                     with_noise=with_noise)):
+            cache.add(config, value, valid=valid, error=error)
         return cache
 
     # ------------------------------------------------------------------ reference

@@ -103,18 +103,49 @@ class Tuner(abc.ABC):
             raise RuntimeError("evaluate() called outside of tune()")
         if self._budget.exhausted:
             return None
+        observation = self._problem.evaluate(config)
+        self._account(config, observation)
+        return observation
+
+    def _account(self, config: Mapping[str, Any], observation: Observation) -> None:
+        """Charge the budget and record one observation (shared by both the scalar
+        :meth:`evaluate` path and the :meth:`evaluate_all` fast path, so the
+        accounting semantics cannot drift apart)."""
         key = config_key(config)
         new_config = key not in self._seen
-        observation = self._problem.evaluate(config)
         simulated_seconds = (observation.value / 1e3
                              if math.isfinite(observation.value) else 0.0)
         self._budget.charge(simulated_seconds=simulated_seconds, new_config=new_config)
         self._seen.add(key)
         self._result.record(observation)
-        return observation
 
     def evaluate_all(self, configs: Iterable[Mapping[str, Any]]) -> list[Observation]:
-        """Evaluate configurations until the list or the budget is exhausted."""
+        """Evaluate configurations until the list or the budget is exhausted.
+
+        Fast path: for a materialised batch under a purely evaluation-count budget,
+        the number of affordable evaluations is known up front, so the whole slice
+        goes through :meth:`TuningProblem.evaluate_many` -- one vectorized validity
+        mask instead of one scalar constraint pass per configuration, the same batch
+        discipline the shard workers of :mod:`repro.exec` use.  Budget charging,
+        duplicate accounting and recording stay per-observation, so the results are
+        observation-for-observation identical to the scalar loop.
+        """
+        if (isinstance(configs, (list, tuple))
+                and self._problem is not None and self._result is not None
+                and self._budget is not None and type(self._budget) is Budget
+                and self._budget.max_unique_configs is None
+                and self._budget.max_simulated_seconds is None):
+            # The exact-type check matters: Budget subclasses (e.g. the portfolio
+            # tuner's slice) may override `exhausted`, and the fast path's
+            # precomputed allowance is only valid for the base-class semantics.
+            remaining = self._budget.remaining_evaluations
+            allowed = (len(configs) if remaining == math.inf
+                       else min(len(configs), int(remaining)))
+            batch = list(configs[:allowed])
+            observations = self._problem.evaluate_many(batch)
+            for config, obs in zip(batch, observations):
+                self._account(config, obs)
+            return observations
         observations: list[Observation] = []
         for config in configs:
             obs = self.evaluate(config)

@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.core.cache import EvaluationCache
+from repro.core.constraints import ConstraintSerializationWarning, ConstraintSet
 from repro.core.errors import CacheMissError, ReproError, SerializationError
 from repro.core.parameter import Parameter
 from repro.core.result import Observation, TuningResult
@@ -126,6 +127,91 @@ class TestCacheFiles:
         bad.write_text("{\"something\": 1}")
         with pytest.raises(SerializationError):
             load_cache(bad)
+
+    def test_save_is_byte_deterministic(self, toy_cache, tmp_path):
+        # Atomic writes + gzip mtime=0: the same cache always produces the same
+        # bytes, including through the compressed path.
+        a = save_cache(toy_cache, tmp_path / "a.json.gz")
+        b = save_cache(toy_cache, tmp_path / "b.json.gz")
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestCallableConstraintRoundTrip:
+    """Callable constraints cannot survive JSON; the degradation must be loud."""
+
+    def _cache_with_callable_constraint(self):
+        space = SearchSpace(
+            [Parameter("x", (1, 2, 3, 4)), Parameter("y", (1, 2))],
+            ConstraintSet([lambda c: c["x"] * c["y"] <= 6, "x != 3"]),
+            name="mixed")
+        cache = EvaluationCache("mixed", "SIM_GPU", space)
+        for config in space.enumerate(valid_only=True):
+            cache.add(config, float(config["x"] + config["y"]))
+        return space, cache
+
+    @pytest.mark.parametrize("suffix", [".json", ".json.gz"])
+    def test_load_without_space_warns_and_drops_callable(self, tmp_path, suffix):
+        space, cache = self._cache_with_callable_constraint()
+        path = save_cache(cache, tmp_path / f"mixed{suffix}")
+        with pytest.warns(ConstraintSerializationWarning, match="callable constraint"):
+            restored = load_cache(path)
+        # The string constraint survives, the callable is gone -- explicitly.
+        assert [c.expression for c in restored.space.constraints] == ["x != 3"]
+        assert len(restored) == len(cache)
+
+    def test_load_with_live_space_keeps_callable(self, tmp_path, recwarn):
+        space, cache = self._cache_with_callable_constraint()
+        path = save_cache(cache, tmp_path / "mixed.json.gz")
+        restored = load_cache(path, space=space)
+        assert restored.space is space
+        assert len(restored.space.constraints) == 2
+        assert not [w for w in recwarn.list
+                    if isinstance(w.message, ConstraintSerializationWarning)]
+
+    def test_callable_flag_serialized(self):
+        space, _ = self._cache_with_callable_constraint()
+        entries = space.constraints.to_list()
+        assert entries[0].get("callable") is True
+        assert "callable" not in entries[1]
+
+    def test_legacy_lambda_name_warns_instead_of_crashing(self):
+        # Old cache files carry "<lambda>" without the callable flag; loading them
+        # must warn and drop, not raise SyntaxError.
+        with pytest.warns(ConstraintSerializationWarning, match="unparseable"):
+            restored = ConstraintSet.from_list(
+                [{"expression": "<lambda>", "description": ""}])
+        assert len(restored) == 0
+
+    def test_legacy_named_callable_warns_instead_of_degrading(self):
+        # A named callable serialized pre-flag as {"expression": "power_of_two"}
+        # parses as a Name expression referencing no parameter; space loading must
+        # drop it loudly rather than keep a constraint that raises on first use.
+        data = {
+            "name": "legacy",
+            "parameters": [Parameter("x", (1, 2, 4)).to_dict()],
+            "constraints": [{"expression": "power_of_two", "description": ""},
+                            {"expression": "x <= 4", "description": ""}],
+        }
+        with pytest.warns(ConstraintSerializationWarning, match="power_of_two"):
+            space = SearchSpace.from_dict(data)
+        assert [c.expression for c in space.constraints] == ["x <= 4"]
+        assert space.is_valid({"x": 2})
+
+    def test_bare_parameter_name_expression_survives_round_trip(self):
+        # Truthiness-of-a-parameter expressions are legitimate bare Names and must
+        # not be confused with degraded callables.
+        space = SearchSpace([Parameter("flag", (0, 1)), Parameter("x", (1, 2))],
+                            ConstraintSet(["flag"]))
+        restored = SearchSpace.from_dict(space.to_dict())
+        assert [c.expression for c in restored.constraints] == ["flag"]
+        assert not restored.is_valid({"flag": 0, "x": 1})
+
+    def test_written_files_honor_umask(self, toy_cache, tmp_path):
+        import os as _os
+        path = save_cache(toy_cache, tmp_path / "perm.json")
+        umask = _os.umask(0)
+        _os.umask(umask)
+        assert (path.stat().st_mode & 0o777) == (0o666 & ~umask)
 
 
 class TestResultFiles:

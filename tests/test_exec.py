@@ -1,0 +1,498 @@
+"""Tests for the campaign-execution subsystem (:mod:`repro.exec`).
+
+The subsystem's load-bearing contract is *byte identity*: any executor, over any
+shard plan, interrupted or not, must merge to exactly the caches the serial
+reference produces -- same configurations, same order, same values, same error
+strings, same serialized JSON.  Every test here ultimately asserts that.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import Campaign
+from repro.core.budget import Budget
+from repro.core.errors import ReproError, SerializationError
+from repro.core.parameter import Parameter
+from repro.core.searchspace import SearchSpace
+from repro.core.runner import run_matrix
+from repro.exec import (
+    MEMOIZE_THRESHOLD_ENV,
+    CampaignPlan,
+    CheckpointStore,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardPlanner,
+    resolve_memoize_threshold,
+    resume_campaign,
+)
+from repro.exec.cli import main as exec_main
+from repro.tuners.base import Tuner
+
+KERNEL_NAMES = ("pnpoly", "nbody", "convolution", "gemm", "expdist", "hotspot",
+                "dedispersion")
+
+#: Small enough for fast tests, large enough that every unit splits into shards.
+SAMPLE_N = 150
+SHARD_SIZE = 40
+EXHAUSTIVE_LIMIT = 5_000
+
+
+def cache_bytes(cache) -> str:
+    """Canonical serialized form used for byte-identity assertions."""
+    return json.dumps(cache.to_dict())
+
+
+@pytest.fixture(scope="module")
+def planner(benchmarks, gpus):
+    selected = {"RTX_3090": gpus["RTX_3090"]}
+    return ShardPlanner(benchmarks, selected, sample_size=SAMPLE_N,
+                        exhaustive_limit=EXHAUSTIVE_LIMIT, seed=99,
+                        shard_size=SHARD_SIZE)
+
+
+@pytest.fixture(scope="module")
+def serial_caches(planner):
+    """Reference output: the full plan through the SerialExecutor, built once."""
+    return SerialExecutor().run(planner.plan(), benchmarks=planner.benchmarks,
+                                gpus=planner.gpus)
+
+
+class TestShardPlanner:
+    def test_plan_is_deterministic(self, benchmarks, gpus):
+        make = lambda: ShardPlanner(benchmarks, gpus, sample_size=SAMPLE_N,
+                                    exhaustive_limit=EXHAUSTIVE_LIMIT, seed=99,
+                                    shard_size=SHARD_SIZE).plan()
+        assert make().to_dict() == make().to_dict()
+
+    def test_plan_round_trips_through_json(self, planner):
+        plan = planner.plan()
+        restored = CampaignPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert restored == plan
+
+    def test_shards_partition_each_unit(self, planner):
+        plan = planner.plan()
+        for unit in plan.units:
+            shards = plan.shards_of(unit)
+            assert shards[0].start == 0
+            assert shards[-1].stop == unit.n_configs
+            for a, b in zip(shards, shards[1:]):
+                assert a.stop == b.start
+            assert all(s.n_configs <= SHARD_SIZE for s in shards)
+
+    def test_paper_design_decisions(self, planner):
+        # The three huge spaces are always sampled; pnpoly fits under the
+        # exhaustive limit and is enumerated.
+        assert planner.is_sampled("hotspot")
+        assert planner.is_sampled("dedispersion")
+        assert planner.is_sampled("expdist")
+        assert not planner.is_sampled("pnpoly")
+        unit = planner.unit_for("pnpoly", "RTX_3090")
+        assert unit.exhaustive and unit.n_configs == 4_092
+
+    def test_per_gpu_seeds_follow_sorted_order(self, benchmarks, gpus):
+        planner = ShardPlanner(benchmarks, gpus, seed=10)
+        seeds = {g: planner.unit_seed(g) for g in gpus}
+        assert seeds == {g: 10 + i for i, g in enumerate(sorted(gpus))}
+
+    def test_sampled_unit_indices_match_space_sampling(self, planner, benchmarks):
+        unit = planner.unit_for("hotspot", "RTX_3090")
+        np.testing.assert_array_equal(
+            planner.unit_indices(unit),
+            benchmarks["hotspot"].space.sample_indices(SAMPLE_N, rng=unit.seed,
+                                                       valid_only=True, unique=True))
+
+
+class TestSerialExecutor:
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_byte_identical_to_build_cache(self, planner, serial_caches,
+                                           benchmarks, gpus, name):
+        unit = planner.unit_for(name, "RTX_3090")
+        reference = benchmarks[name].build_cache(
+            gpus["RTX_3090"], sample_size=unit.sample_size, seed=unit.seed)
+        assert cache_bytes(serial_caches[(name, "RTX_3090")]) == cache_bytes(reference)
+
+
+class TestParallelExecutor:
+    def test_byte_identical_to_serial_on_every_kernel_space(self, planner,
+                                                            serial_caches):
+        # One pool, all seven kernel spaces: the acceptance criterion of the
+        # subsystem.  Shards complete out of order; the merge must not care.
+        parallel = ParallelExecutor(workers=4).run(
+            planner.plan(), benchmarks=planner.benchmarks, gpus=planner.gpus)
+        assert set(parallel) == set(serial_caches)
+        for key in serial_caches:
+            assert cache_bytes(parallel[key]) == cache_bytes(serial_caches[key]), key
+
+    def test_rejects_non_registry_benchmarks(self, gpus):
+        space = SearchSpace([Parameter("x", (1, 2))], name="custom")
+
+        class FakeBenchmark:
+            def __init__(self):
+                self.space = space
+
+        planner = ShardPlanner({"custom": FakeBenchmark()},
+                               {"RTX_3090": gpus["RTX_3090"]}, sample_size=2,
+                               sampled_benchmarks=frozenset({"custom"}))
+        with pytest.raises(ReproError, match="registry"):
+            ParallelExecutor(workers=2).run(planner.plan(),
+                                            benchmarks=planner.benchmarks,
+                                            gpus=planner.gpus)
+
+    def test_rejects_custom_workload_under_registry_name(self, gpus):
+        # A custom workload under a registry name would be silently replaced by
+        # the default rebuild in every worker; the mismatch must be refused.
+        from repro.kernels import all_benchmarks
+
+        custom = {"hotspot": all_benchmarks(hotspot={"grid_size": 64})["hotspot"]}
+        planner = ShardPlanner(custom, {"RTX_3090": gpus["RTX_3090"]},
+                               sample_size=4)
+        with pytest.raises(ReproError, match="workload_overrides"):
+            ParallelExecutor(workers=2).run(planner.plan(),
+                                            benchmarks=planner.benchmarks,
+                                            gpus=planner.gpus)
+        # With matching overrides the same plan runs (and matches serial).
+        executor = ParallelExecutor(workers=2,
+                                    workload_overrides={"hotspot": {"grid_size": 64}})
+        parallel = executor.run(planner.plan(), benchmarks=planner.benchmarks,
+                                gpus=planner.gpus)
+        serial = SerialExecutor().run(planner.plan(), benchmarks=planner.benchmarks,
+                                      gpus=planner.gpus)
+        key = ("hotspot", "RTX_3090")
+        assert cache_bytes(parallel[key]) == cache_bytes(serial[key])
+
+    def test_rejects_invalid_worker_count(self):
+        with pytest.raises(ReproError):
+            ParallelExecutor(workers=0)
+
+
+class _MustNotEvaluate(SerialExecutor):
+    """Executor that fails the test if any shard actually needs evaluating."""
+
+    def _run_shards(self, tasks, on_complete):
+        raise AssertionError(f"{len(tasks)} shards were re-evaluated on resume")
+
+
+class TestCheckpointResume:
+    @pytest.fixture()
+    def small_planner(self, benchmarks, gpus):
+        return ShardPlanner({"hotspot": benchmarks["hotspot"]},
+                            {"RTX_3090": gpus["RTX_3090"]},
+                            sample_size=SAMPLE_N, seed=5, shard_size=SHARD_SIZE)
+
+    def test_interrupted_parallel_run_resumes_byte_identical(self, small_planner,
+                                                             tmp_path):
+        plan = small_planner.plan()
+        store = CheckpointStore(tmp_path / "ckpt")
+        parallel = ParallelExecutor(workers=2).run(
+            plan, benchmarks=small_planner.benchmarks, gpus=small_planner.gpus,
+            checkpoint=store)
+        # Simulate a mid-campaign kill: drop some completed shards.  Atomic
+        # fragment writes guarantee the survivors are complete files.
+        dropped = [s for s in plan.shards if s.shard_id % 2 == 1]
+        assert dropped
+        for shard in dropped:
+            os.unlink(store.fragment_path(shard))
+        status = store.status(plan)
+        assert status["shards_completed"] == len(plan.shards) - len(dropped)
+
+        resumed = resume_campaign(store, executor=ParallelExecutor(workers=2),
+                                  benchmarks=small_planner.benchmarks,
+                                  gpus=small_planner.gpus)
+        uninterrupted = SerialExecutor().run(plan,
+                                             benchmarks=small_planner.benchmarks,
+                                             gpus=small_planner.gpus)
+        key = ("hotspot", "RTX_3090")
+        assert cache_bytes(resumed[key]) == cache_bytes(uninterrupted[key])
+        assert cache_bytes(parallel[key]) == cache_bytes(uninterrupted[key])
+
+    def test_complete_checkpoint_resumes_without_reevaluating(self, small_planner,
+                                                              tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        reference = SerialExecutor().run(small_planner.plan(),
+                                         benchmarks=small_planner.benchmarks,
+                                         gpus=small_planner.gpus, checkpoint=store)
+        resumed = resume_campaign(store, executor=_MustNotEvaluate(),
+                                  benchmarks=small_planner.benchmarks,
+                                  gpus=small_planner.gpus)
+        key = ("hotspot", "RTX_3090")
+        assert cache_bytes(resumed[key]) == cache_bytes(reference[key])
+
+    def test_checkpoint_refuses_foreign_plan(self, small_planner, benchmarks,
+                                             gpus, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.initialize(small_planner.plan())
+        other = ShardPlanner({"pnpoly": benchmarks["pnpoly"]},
+                             {"RTX_3090": gpus["RTX_3090"]},
+                             shard_size=SHARD_SIZE)
+        with pytest.raises(SerializationError, match="different"):
+            SerialExecutor().run(other.plan(), benchmarks=other.benchmarks,
+                                 gpus=other.gpus, checkpoint=store)
+
+    def test_resume_refuses_diverged_benchmark_definition(self, benchmarks, gpus,
+                                                          tmp_path):
+        # Fragments evaluated against a custom-workload benchmark must not merge
+        # with the default registry definition (or vice versa): the manifest pins
+        # a space+workload fingerprint per benchmark.
+        from repro.kernels import all_benchmarks
+
+        selected_g = {"RTX_3090": gpus["RTX_3090"]}
+        custom = {"hotspot": all_benchmarks(hotspot={"grid_size": 64})["hotspot"]}
+        planner = ShardPlanner(custom, selected_g, sample_size=20, shard_size=10)
+        store = CheckpointStore(tmp_path / "ckpt")
+        SerialExecutor().run(planner.plan(), benchmarks=custom, gpus=selected_g,
+                             checkpoint=store)
+        with pytest.raises(SerializationError, match="different definitions"):
+            resume_campaign(store, executor=SerialExecutor(),
+                            benchmarks={"hotspot": benchmarks["hotspot"]},
+                            gpus=selected_g)
+
+    def test_fragment_row_count_is_validated(self, small_planner, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        plan = small_planner.plan()
+        shard = plan.shards[0]
+        with pytest.raises(SerializationError, match="rows"):
+            store.save_shard(shard, [(1.0, True, "")])  # wrong length
+
+
+class TestExecCLI:
+    def run_cli(self, *argv) -> tuple[int, str]:
+        out = io.StringIO()
+        code = exec_main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_plan_prints_units_and_totals(self):
+        code, text = self.run_cli("plan", "--benchmarks", "pnpoly,hotspot",
+                                  "--gpus", "RTX_3090", "--sample-size", "100")
+        assert code == 0
+        assert "pnpoly" in text and "exhaustive" in text
+        assert "sampled(100)" in text
+        assert "shards" in text
+
+    def test_plan_rejects_unknown_names(self):
+        code, text = self.run_cli("plan", "--benchmarks", "warp_drive")
+        assert code == 2
+        assert "unknown benchmarks" in text
+
+    def test_run_status_resume_round_trip(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        outdir = str(tmp_path / "caches")
+        code, text = self.run_cli(
+            "run", "--benchmarks", "hotspot", "--gpus", "RTX_3090",
+            "--sample-size", "120", "--shard-size", "50", "--workers", "1",
+            "--checkpoint-dir", ckpt, "--output-dir", outdir, "--quiet")
+        assert code == 0, text
+        assert "hotspot/RTX_3090: 120 entries" in text
+        first = (tmp_path / "caches" / "hotspot_RTX_3090.json").read_bytes()
+
+        code, text = self.run_cli("status", "--checkpoint-dir", ckpt)
+        assert code == 0
+        assert "3/3" in text
+
+        # Drop a fragment, resume, and the rewritten cache is byte-identical.
+        os.unlink(tmp_path / "ckpt" / "shard_00001.json")
+        code, text = self.run_cli("resume", "--checkpoint-dir", ckpt,
+                                  "--output-dir", outdir, "--quiet")
+        assert code == 0, text
+        assert (tmp_path / "caches" / "hotspot_RTX_3090.json").read_bytes() == first
+
+    def test_status_without_manifest(self, tmp_path):
+        code, text = self.run_cli("status", "--checkpoint-dir",
+                                  str(tmp_path / "nothing"))
+        assert code == 1
+        assert "no manifest" in text
+
+
+class TestMemoizeThresholdConfig:
+    def test_explicit_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(MEMOIZE_THRESHOLD_ENV, "123")
+        assert resolve_memoize_threshold(456) == 456
+        assert resolve_memoize_threshold(None) == 123
+
+    def test_unset_environment_keeps_default(self, monkeypatch):
+        monkeypatch.delenv(MEMOIZE_THRESHOLD_ENV, raising=False)
+        assert resolve_memoize_threshold(None) is None
+
+    def test_garbage_environment_raises(self, monkeypatch):
+        monkeypatch.setenv(MEMOIZE_THRESHOLD_ENV, "lots")
+        with pytest.raises(ReproError, match=MEMOIZE_THRESHOLD_ENV):
+            resolve_memoize_threshold(None)
+
+    def test_executor_applies_threshold_to_spaces(self, monkeypatch):
+        from repro.kernels import all_benchmarks
+
+        monkeypatch.setenv(MEMOIZE_THRESHOLD_ENV, "17")
+        benchmarks = all_benchmarks()  # fresh spaces, not the session fixture
+        from repro.gpus.specs import all_gpus
+        gpus = {"RTX_3090": all_gpus()["RTX_3090"]}
+        planner = ShardPlanner({"pnpoly": benchmarks["pnpoly"]}, gpus,
+                               exhaustive_limit=EXHAUSTIVE_LIMIT)
+        SerialExecutor().run(planner.plan(), benchmarks=planner.benchmarks,
+                             gpus=planner.gpus)
+        assert benchmarks["pnpoly"].space.memoize_threshold == 17
+
+    def test_worker_init_applies_threshold(self):
+        from repro.exec import worker
+
+        worker.init_worker(memoize_threshold=29)
+        try:
+            assert all(b.space.memoize_threshold == 29
+                       for b in worker._BENCHMARKS.values())
+        finally:
+            worker._BENCHMARKS = None
+            worker._GPUS = None
+
+
+class TestCampaignDelegation:
+    def test_parallel_campaign_matches_serial_campaign(self, benchmarks, gpus):
+        selected_b = {name: benchmarks[name] for name in ("pnpoly", "hotspot")}
+        selected_g = {"RTX_3090": gpus["RTX_3090"]}
+        kwargs = dict(sample_size=SAMPLE_N, exhaustive_limit=EXHAUSTIVE_LIMIT, seed=7)
+        serial = Campaign(selected_b, selected_g, **kwargs)
+        parallel = Campaign(selected_b, selected_g,
+                            executor=ParallelExecutor(workers=2), **kwargs)
+        for key, cache in serial.all_caches().items():
+            assert cache_bytes(parallel.all_caches()[key]) == cache_bytes(cache)
+
+    def test_checkpointed_campaign_builds_pairs_lazily(self, benchmarks, gpus,
+                                                       tmp_path):
+        # Regression: per-key plans used to collide with the stored manifest on
+        # the second lazily-built pair.  With a checkpoint the campaign executes
+        # its full (stable) plan, so later accesses are pure cache hits.
+        selected_b = {"pnpoly": benchmarks["pnpoly"]}
+        selected_g = {name: gpus[name] for name in ("RTX_3090", "RTX_3060")}
+        campaign = Campaign(selected_b, selected_g,
+                            exhaustive_limit=EXHAUSTIVE_LIMIT,
+                            checkpoint=tmp_path / "ckpt")
+        first = campaign.cache("pnpoly", "RTX_3090")
+        # Laziness holds under checkpointing: only the requested unit executed.
+        store = CheckpointStore(tmp_path / "ckpt")
+        by_unit = {(row["benchmark"], row["gpu"]): row
+                   for row in store.status()["units"]}
+        assert by_unit[("pnpoly", "RTX_3090")]["shards_completed"] > 0
+        assert by_unit[("pnpoly", "RTX_3060")]["shards_completed"] == 0
+        second = campaign.cache("pnpoly", "RTX_3060")  # must not raise
+        assert first.gpu == "RTX_3090" and second.gpu == "RTX_3060"
+        reference = Campaign(selected_b, selected_g,
+                             exhaustive_limit=EXHAUSTIVE_LIMIT)
+        assert cache_bytes(second) == cache_bytes(
+            reference.cache("pnpoly", "RTX_3060"))
+
+    def test_campaign_checkpoint_round_trip(self, benchmarks, gpus, tmp_path):
+        selected_b = {"pnpoly": benchmarks["pnpoly"]}
+        selected_g = {"RTX_3090": gpus["RTX_3090"]}
+        first = Campaign(selected_b, selected_g, exhaustive_limit=EXHAUSTIVE_LIMIT,
+                         checkpoint=tmp_path / "ckpt")
+        reference = cache_bytes(first.cache("pnpoly", "RTX_3090"))
+        # A second campaign over the same checkpoint loads fragments, never models.
+        second = Campaign(selected_b, selected_g, exhaustive_limit=EXHAUSTIVE_LIMIT,
+                          executor=_MustNotEvaluate(), checkpoint=tmp_path / "ckpt")
+        assert cache_bytes(second.cache("pnpoly", "RTX_3090")) == reference
+
+
+class _ListTuner(Tuner):
+    """Minimal tuner that pushes a fixed candidate list through evaluate_all."""
+
+    name = "list-tuner"
+
+    def __init__(self, candidates, **kwargs):
+        super().__init__(**kwargs)
+        self.candidates = candidates
+
+    def _run(self, problem, budget, rng):
+        self.evaluate_all(self.candidates)
+
+
+class _ListTunerSlow(_ListTuner):
+    """Same tuner, forced through the scalar evaluate() loop."""
+
+    def _run(self, problem, budget, rng):
+        for config in self.candidates:
+            if self.evaluate(config) is None:
+                break
+
+
+class TestBatchEvaluatePaths:
+    def test_evaluate_all_fast_path_matches_scalar_loop(self, pnpoly, gpu_3090):
+        candidates = pnpoly.space.sample(40, rng=3) + [
+            # An invalid (constraint-violating or out-of-space) candidate mid-batch.
+            {**pnpoly.space.sample_one(rng=4), "block_size_x": 32},
+        ] + pnpoly.space.sample(9, rng=5)
+        fast = _ListTuner(candidates).tune(pnpoly.problem(gpu_3090),
+                                           Budget(max_evaluations=30), seed=1)
+        slow = _ListTunerSlow(candidates).tune(pnpoly.problem(gpu_3090),
+                                               Budget(max_evaluations=30), seed=1)
+        assert len(fast) == len(slow) == 30
+        for a, b in zip(fast.observations, slow.observations):
+            assert a.config == b.config
+            assert a.value == b.value
+            assert a.valid == b.valid
+
+    def test_evaluate_all_respects_budget_subclass_exhaustion(self, pnpoly,
+                                                              gpu_3090):
+        # Budget subclasses may override `exhausted` (the portfolio tuner's slice
+        # does); the precomputed fast-path allowance is invalid for them, so
+        # evaluate_all must fall back to the per-evaluation loop.
+        from repro.tuners.portfolio import _BudgetSlice
+
+        candidates = pnpoly.space.sample(30, rng=8)
+        parent = Budget(max_evaluations=50)
+        tuner = _ListTuner(candidates)
+        tuner._problem = pnpoly.problem(gpu_3090)
+        tuner._budget = _BudgetSlice(parent, 10)
+        from repro.core.result import TuningResult
+        tuner._result = TuningResult()
+        tuner._seen = set()
+        observations = tuner.evaluate_all(candidates)
+        assert len(observations) == 10  # the slice, not the 30-config batch
+        assert parent.evaluations_used == 10
+
+    def test_evaluate_many_matches_scalar_evaluate(self, pnpoly, gpu_3090):
+        configs = pnpoly.space.sample(25, rng=11)
+        configs.insert(5, {"bogus": 1})                      # missing parameters
+        configs.insert(9, {**configs[0], "block_size_x": -3})  # value not allowed
+        batch_problem = pnpoly.problem(gpu_3090)
+        scalar_problem = pnpoly.problem(gpu_3090)
+        batch = batch_problem.evaluate_many(configs)
+        scalar = [scalar_problem.evaluate(c) for c in configs]
+        for a, b in zip(batch, scalar):
+            assert (a.value, a.valid, a.error) == (b.value, b.valid, b.error)
+            assert a.evaluation_index == b.evaluation_index
+
+
+class TestRunMatrixExecutorHook:
+    def _matrix(self, pnpoly, gpu_3090, executor):
+        from repro.tuners.random_search import RandomSearch
+
+        tuners = {"random": lambda seed=None: RandomSearch(seed=seed)}
+        problems = {"pnpoly": pnpoly.problem(gpu_3090)}
+        return run_matrix(tuners, problems, max_evaluations=40, seed=3,
+                          executor=executor)
+
+    def test_serial_executor_hook_matches_inline(self, pnpoly, gpu_3090):
+        inline = self._matrix(pnpoly, gpu_3090, executor=None)
+        hooked = self._matrix(pnpoly, gpu_3090, executor=SerialExecutor())
+        assert list(inline) == list(hooked)
+        for key in inline:
+            assert inline[key].best_value == hooked[key].best_value
+            assert [o.config for o in inline[key]] == [o.config for o in hooked[key]]
+
+    def test_thread_pool_executor_hook_matches_inline(self, pnpoly, gpu_3090):
+        from concurrent.futures import ThreadPoolExecutor
+
+        inline = self._matrix(pnpoly, gpu_3090, executor=None)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            hooked = self._matrix(pnpoly, gpu_3090, executor=pool)
+        for key in inline:
+            assert inline[key].best_value == hooked[key].best_value
+
+    def test_process_pool_mapper_fails_loudly(self, pnpoly, gpu_3090):
+        # The column runner closes over unpicklable problems; a process-pool
+        # mapper must produce an actionable error, not a raw pickling traceback.
+        with pytest.raises(ReproError, match="thread-based or in-process"):
+            self._matrix(pnpoly, gpu_3090, executor=ParallelExecutor(workers=2))

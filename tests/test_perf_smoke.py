@@ -25,6 +25,7 @@ pytestmark = pytest.mark.perf
 SAMPLE_10K_DEDISPERSION_CEILING_S = 10.0
 FFG_2K_CEILING_S = 10.0
 COUNT_GEMM_CEILING_S = 10.0
+SHARDED_CAMPAIGN_10K_CEILING_S = 20.0
 
 
 def _timed(fn):
@@ -53,6 +54,25 @@ def test_ffg_and_pagerank_on_2k_cache_under_ceiling(benchmarks, gpu_3090):
         f"FFG + PageRank on a 2k-point cache took {elapsed:.2f}s "
         f"(ceiling {FFG_2K_CEILING_S}s); the index-arithmetic FFG build has likely "
         f"regressed to the dictionary loop")
+
+
+def test_sharded_campaign_execution_under_ceiling(benchmarks, gpus):
+    # One 10k-sample unit through the execution subsystem (plan -> shards ->
+    # evaluate -> merge).  The ceiling guards the subsystem's per-shard and merge
+    # overhead: a regression to per-config Python dispatch (or an accidental
+    # re-sampling per shard) blows well past it.
+    from repro.exec import SerialExecutor, ShardPlanner
+
+    selected = {"hotspot": benchmarks["hotspot"]}
+    gpu = {"RTX_3090": gpus["RTX_3090"]}
+    planner = ShardPlanner(selected, gpu, sample_size=10_000, seed=2023)
+    caches, elapsed = _timed(lambda: SerialExecutor().run(
+        planner.plan(), benchmarks=selected, gpus=gpu))
+    assert len(caches[("hotspot", "RTX_3090")]) == 10_000
+    assert elapsed < SHARDED_CAMPAIGN_10K_CEILING_S, (
+        f"sharded 10k hotspot campaign took {elapsed:.2f}s "
+        f"(ceiling {SHARDED_CAMPAIGN_10K_CEILING_S}s); the execution subsystem's "
+        f"shard or merge path has likely regressed to per-config dispatch")
 
 
 def test_exact_constrained_count_gemm_under_ceiling(benchmarks):

@@ -108,6 +108,60 @@ class TestSatisfiedMask:
         np.testing.assert_array_equal(mask, scalar)
         assert mask[: space.parameter("y").cardinality].all()
 
+    def test_ternary_matches_scalar_including_branch_failures(self):
+        # "y % x == 0 if x > 0 else y == 0": the scalar path never evaluates the
+        # division on the x == 0 rows, so those rows must not be poisoned.
+        space = SearchSpace(
+            [Parameter("x", (0, 1, 2, 3)), Parameter("y", (0, 2, 4))],
+            ConstraintSet(["y % x == 0 if x > 0 else y == 0"]))
+        idx = np.arange(space.cardinality)
+        mask = space.satisfied_mask(idx)
+        scalar = [space.constraints.is_satisfied(c) for c in space.configs_at(idx)]
+        np.testing.assert_array_equal(mask, scalar)
+        assert space.constraints[0].is_vectorized
+
+    def test_ternary_value_branches(self):
+        # Ternary producing values (not booleans), consumed by a comparison.
+        space = SearchSpace(
+            [Parameter("x", (1, 2, 4)), Parameter("y", (1, 2, 4, 8))],
+            ConstraintSet(["(x if x > y else y) <= 4"]))
+        idx = np.arange(space.cardinality)
+        scalar = [space.constraints.is_satisfied(c) for c in space.configs_at(idx)]
+        np.testing.assert_array_equal(space.satisfied_mask(idx), scalar)
+        assert space.constraints[0].is_vectorized
+
+    @pytest.mark.parametrize("expression", [
+        "x in (1, 2, 4)",
+        "x not in (0, 3)",
+        "y in [2, 4]",
+        "x in (1, 'mixed', 4)",
+        "x in (2,) or y in (0, 4)",
+    ])
+    def test_membership_over_literal_tuples_matches_scalar(self, expression):
+        space = SearchSpace(
+            [Parameter("x", (0, 1, 2, 3, 4)), Parameter("y", (0, 2, 4))],
+            ConstraintSet([expression]))
+        assert space.constraints[0].is_vectorized, expression
+        idx = np.arange(space.cardinality)
+        scalar = [space.constraints.is_satisfied(c) for c in space.configs_at(idx)]
+        np.testing.assert_array_equal(space.satisfied_mask(idx), scalar)
+
+    @pytest.mark.parametrize("expression", [
+        "x in y",              # non-literal container
+        "x in (1, y)",         # container with a non-constant element
+    ])
+    def test_unsupported_membership_falls_back_to_scalar(self, expression):
+        constraint = Constraint(expression)
+        assert not constraint.is_vectorized
+        # The scalar fallback still decides validity (here: y is not iterable ->
+        # raises -> violated; the set never becomes silently wrong).
+        space = SearchSpace(
+            [Parameter("x", (0, 1, 2)), Parameter("y", (0, 2))],
+            ConstraintSet([expression]))
+        idx = np.arange(space.cardinality)
+        scalar = [space.constraints.is_satisfied(c) for c in space.configs_at(idx)]
+        np.testing.assert_array_equal(space.satisfied_mask(idx), scalar)
+
     def test_constraint_compiled_once_at_construction(self):
         constraint = Constraint("a % b == 0")
         assert constraint._compiled is not None
