@@ -96,6 +96,36 @@ class Budget:
         else:
             self.simulated_seconds_used += self.compile_overhead_seconds
 
+    def charge_bulk(self, count: int,
+                    simulated_seconds: "float | list[float]" = 0.0,
+                    new_configs: int = 0) -> None:
+        """Record ``count`` evaluations in one call (the batch twin of :meth:`charge`).
+
+        End-state identical to ``count`` sequential :meth:`charge` calls with the
+        same per-evaluation costs; pass ``simulated_seconds`` as the per-evaluation
+        list to reproduce the sequential floating-point accumulation order bit for
+        bit (a scalar total is accepted where that precision is irrelevant).  The
+        caller must have pre-computed that all ``count`` evaluations are affordable
+        (only possible for the base class with a pure evaluation-count limit, which
+        is exactly when the index-native batch paths use it).  Raises like
+        :meth:`charge` when the budget is already exhausted.
+        """
+        if count <= 0:
+            return
+        if self.exhausted:
+            raise BudgetExhaustedError(
+                f"budget exhausted after {self.evaluations_used} evaluations")
+        self.evaluations_used += count
+        self.unique_used += new_configs
+        overhead = self.compile_overhead_seconds
+        if isinstance(simulated_seconds, (int, float)):
+            self.simulated_seconds_used += simulated_seconds + count * overhead
+        else:
+            used = self.simulated_seconds_used
+            for seconds in simulated_seconds:
+                used += seconds + overhead
+            self.simulated_seconds_used = used
+
     def reset(self) -> None:
         """Zero all usage counters (limits are kept)."""
         self.evaluations_used = 0

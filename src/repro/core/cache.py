@@ -11,6 +11,17 @@ remembers which configurations were invalid, knows summary statistics, can be en
 into ML feature matrices, and can be replayed as a :class:`~repro.core.problem.TuningProblem`
 so that tuners can be benchmarked against cached data without re-running the device
 model (exactly how BAT replays its own caches).
+
+Columnar index table
+--------------------
+Replayed tuning campaigns perform millions of cache lookups, and keying them by
+configuration dictionary (sort, tuple-ify, hash) is what made the seed's simulation
+loop Python-bound.  :meth:`EvaluationCache.index_table` exposes the store as a
+columnar table keyed by mixed-radix *space index* instead: dense ``row_of`` array for
+small spaces, an int->row hash for the huge sampled ones, with aligned float/bool
+``values``/``failure`` columns.  The table is built lazily in one batch from the dict
+store and kept in sync by :meth:`add`/:meth:`add_observation` (mutations queue and
+flush on the next table access), so both views always answer identically.
 """
 
 from __future__ import annotations
@@ -25,7 +36,112 @@ from repro.core.problem import TuningProblem
 from repro.core.result import Observation
 from repro.core.searchspace import SearchSpace, config_key
 
-__all__ = ["EvaluationCache"]
+__all__ = ["EvaluationCache", "CacheIndexTable"]
+
+#: Cardinality ceiling for the dense ``index -> row`` array of the columnar table
+#: (int32 rows: 4 MB per million points).  Above it, lookups go through a hash map.
+_DENSE_LOOKUP_MAX = 2_000_000
+
+
+class CacheIndexTable:
+    """Columnar ``space index -> (value, failure)`` view of an evaluation cache.
+
+    ``lookup_one`` answers a single integer-index probe without building any
+    configuration dictionary; ``lookup`` is the batch form.  Rows overwrite in
+    place when the same index is stored again, mirroring the dict store.
+    """
+
+    __slots__ = ("_cardinality", "_dense", "_row_of", "_values", "_failure", "_size")
+
+    def __init__(self, cardinality: int):
+        self._cardinality = cardinality
+        self._dense = cardinality <= _DENSE_LOOKUP_MAX
+        self._row_of: Any = (np.full(cardinality, -1, dtype=np.int32)
+                             if self._dense else {})
+        self._values = np.empty(0, dtype=float)
+        self._failure = np.empty(0, dtype=bool)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _grow(self, extra: int) -> None:
+        need = self._size + extra
+        if need <= self._values.size:
+            return
+        capacity = max(need, 2 * self._values.size, 256)
+        self._values = np.resize(self._values, capacity)
+        self._failure = np.resize(self._failure, capacity)
+
+    def store(self, indices: np.ndarray, values: np.ndarray,
+              failure: np.ndarray) -> None:
+        """Insert/overwrite many rows at once (aligned arrays, last write wins)."""
+        if self._dense and indices.size:
+            # Collapse duplicate indices within the batch to their last occurrence
+            # before allocating rows, or each duplicate would leak a fresh row.
+            unique, inverse = np.unique(indices, return_inverse=True)
+            if unique.size != indices.size:
+                last = np.empty(unique.size, dtype=np.int64)
+                last[inverse] = np.arange(indices.size)
+                indices, values, failure = unique, values[last], failure[last]
+        self._grow(indices.size)
+        if self._dense:
+            rows = self._row_of[indices]
+            fresh = rows < 0
+            n_fresh = int(fresh.sum())
+            rows[fresh] = self._size + np.arange(n_fresh, dtype=np.int32)
+            self._row_of[indices] = rows
+            self._size += n_fresh
+            self._values[rows] = values
+            self._failure[rows] = failure
+            return
+        row_of = self._row_of
+        size = self._size
+        for k, index in enumerate(indices.tolist()):
+            row = row_of.get(index)
+            if row is None:
+                row_of[index] = row = size
+                size += 1
+            self._values[row] = values[k]
+            self._failure[row] = failure[k]
+        self._size = size
+
+    def lookup_one(self, index: int) -> tuple[float, bool, bool]:
+        """``(value, failure, found)`` of one space index.
+
+        Out-of-range indices are misses, exactly like unknown in-range ones (the
+        dense path must not let NumPy's negative-index wrapping alias a row).
+        """
+        if self._dense:
+            row = (int(self._row_of[index])
+                   if 0 <= index < self._cardinality else -1)
+        else:
+            row = self._row_of.get(index, -1)
+        if row < 0:
+            return math.inf, True, False
+        return float(self._values[row]), bool(self._failure[row]), True
+
+    def lookup(self, indices: np.ndarray | Sequence[int]
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch ``(values, failure, found)`` arrays for an index block.
+
+        Out-of-range indices are misses (see :meth:`lookup_one`).
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if self._dense:
+            in_range = (idx >= 0) & (idx < self._cardinality)
+            rows = np.full(idx.size, -1, dtype=np.int64)
+            rows[in_range] = self._row_of[idx[in_range]]
+        else:
+            row_of = self._row_of
+            rows = np.fromiter((row_of.get(i, -1) for i in idx.tolist()),
+                               dtype=np.int64, count=idx.size)
+        found = rows >= 0
+        values = np.full(idx.size, math.inf, dtype=float)
+        failure = np.ones(idx.size, dtype=bool)
+        values[found] = self._values[rows[found]]
+        failure[found] = self._failure[rows[found]]
+        return values, failure, found
 
 
 class EvaluationCache:
@@ -53,6 +169,8 @@ class EvaluationCache:
         self.exhaustive = exhaustive
         self._entries: dict[tuple, Observation] = {}
         self.metadata: dict[str, Any] = {}
+        self._index_table: CacheIndexTable | None = None
+        self._index_pending: list[Observation] = []
 
     # --------------------------------------------------------------------- mutation
 
@@ -64,15 +182,45 @@ class EvaluationCache:
                           evaluation_index=len(self._entries),
                           gpu=self.gpu, benchmark=self.benchmark)
         self._entries[config_key(config)] = obs
+        if self._index_table is not None:
+            self._index_pending.append(obs)
 
     def add_observation(self, observation: Observation) -> None:
         """Store an existing observation object."""
         self._entries[observation.key] = observation
+        if self._index_table is not None:
+            self._index_pending.append(observation)
 
     def update(self, observations: Iterable[Observation]) -> None:
         """Store many observations."""
         for obs in observations:
             self.add_observation(obs)
+
+    # ------------------------------------------------------------- columnar lookups
+
+    def _flush_index_pending(self) -> None:
+        pending = self._index_pending
+        self._index_pending = []
+        indices = self.space.indices_of_configs([o.config for o in pending])
+        self._index_table.store(
+            indices,
+            np.asarray([o.value for o in pending], dtype=float),
+            np.asarray([o.is_failure for o in pending], dtype=bool))
+
+    def index_table(self) -> CacheIndexTable:
+        """The columnar ``space index -> (value, failure)`` view of this cache.
+
+        Built in one batch on first use and kept in sync with the dict store:
+        mutations after the build queue up and flush on the next call, so the two
+        views can never answer differently.  Call this per lookup burst (it is just
+        an attribute check once built) rather than caching the table elsewhere.
+        """
+        if self._index_table is None:
+            self._index_table = CacheIndexTable(self.space.cardinality)
+            self._index_pending = list(self._entries.values())
+        if self._index_pending:
+            self._flush_index_pending()
+        return self._index_table
 
     # ---------------------------------------------------------------------- queries
 
@@ -209,6 +357,13 @@ class EvaluationCache:
     def to_problem(self, strict: bool = True, memoize: bool = True) -> TuningProblem:
         """A :class:`TuningProblem` that answers evaluations from this cache.
 
+        The problem carries both objective forms: the dictionary ``evaluate_fn``
+        (key the dict store) and the index-native ``evaluate_index_fn`` (one probe of
+        :meth:`index_table`, no dictionary, no hashing of sorted item tuples).  The
+        two are element-wise equivalent by construction -- same values, same
+        miss/failure semantics, same :class:`CacheMissError` message -- so a tuner
+        may drive either path and record identical observations.
+
         Parameters
         ----------
         strict:
@@ -227,8 +382,34 @@ class EvaluationCache:
                 return math.inf
             return obs.value
 
+        def _evaluate_index(index: int) -> float:
+            value, failure, found = self.index_table().lookup_one(index)
+            if not found:
+                if strict:
+                    raise CacheMissError(
+                        f"configuration not present in {self.benchmark}/{self.gpu} cache")
+                return math.inf
+            if failure:
+                return math.inf
+            return value
+
+        def _peek_indices(indices: np.ndarray
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            # Pure lookup, so peeking is free of side effects.  ``values`` is
+            # normalised to what ``_evaluate_index`` returns (inf for misses and
+            # stored failures), stored non-positive values are flagged exactly
+            # like the scalar evaluation path would invalidate them, and only
+            # strict misses raise (their error string is not value-derived).
+            values, failure, found = self.index_table().lookup(indices)
+            values = np.where(failure, math.inf, values)
+            raises = (~found if strict
+                      else np.zeros(indices.size, dtype=bool))
+            return values, failure | (values <= 0), raises
+
         return TuningProblem(name=self.benchmark, space=self.space, evaluate_fn=_evaluate,
-                             gpu=self.gpu, memoize=memoize)
+                             gpu=self.gpu, memoize=memoize,
+                             evaluate_index_fn=_evaluate_index,
+                             peek_index_fn=_peek_indices)
 
     # ------------------------------------------------------------------ serialization
 

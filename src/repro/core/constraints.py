@@ -170,19 +170,23 @@ class Constraint:
         return self._compiled is None
 
     def referenced_names(self) -> frozenset[str] | None:
-        """Names the expression refers to, minus whitelisted builtins.
+        """Names the expression refers to, minus whitelisted builtins (memoized).
 
         Returns None for callable constraints (their dependencies are opaque).  Used
-        by loaders to detect legacy serializations of *named* callables: a function
+        by loaders to detect legacy serializations of *named* callables (a function
         name like ``"power_of_two"`` parses as a perfectly valid expression but
-        references no parameter, so comparing this set against the space's parameter
-        names exposes the degradation.
+        references no parameter), and by the search space's tiled feasibility sweep
+        to materialise only the value columns the constraints actually read.
         """
         if self.is_callable:
             return None
-        tree = ast.parse(self.expression, mode="eval")
-        names = {node.id for node in ast.walk(tree) if isinstance(node, ast.Name)}
-        return frozenset(names - set(_SAFE_BUILTINS))
+        cached = getattr(self, "_referenced_names", None)
+        if cached is None:
+            tree = ast.parse(self.expression, mode="eval")
+            names = {node.id for node in ast.walk(tree) if isinstance(node, ast.Name)}
+            cached = frozenset(names - set(_SAFE_BUILTINS))
+            self._referenced_names = cached
+        return cached
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form.
@@ -226,6 +230,7 @@ class ConstraintSet:
         if not isinstance(constraint, Constraint):
             constraint = Constraint(constraint)
         self._constraints.append(constraint)
+        self.__dict__.pop("_conjunction", None)  # recompiled on next fast check
         return self
 
     # -------------------------------------------------------------------- queries
@@ -244,6 +249,60 @@ class ConstraintSet:
         return all(c.is_satisfied(config) for c in self._constraints)
 
     __call__ = is_satisfied
+
+    @property
+    def all_vectorized(self) -> bool:
+        """True when every member constraint has a batch evaluator.
+
+        Callers use this to skip building digit matrices / row configurations
+        entirely (e.g. the tiled value-column sweep of
+        :meth:`repro.core.searchspace.SearchSpace._feasible_mask_range`): with no
+        scalar fallback possible, value columns alone determine the mask.
+        """
+        return all(c.is_vectorized for c in self._constraints)
+
+    def referenced_parameters(self) -> frozenset[str] | None:
+        """Union of names referenced by all member expressions, or None when any
+        member is an opaque callable (its reads are unknowable)."""
+        out: set[str] = set()
+        for c in self._constraints:
+            names = c.referenced_names()
+            if names is None:
+                return None
+            out |= names
+        return frozenset(out)
+
+    def is_satisfied_fast(self, config: Mapping[str, Any]) -> bool:
+        """Single-eval form of :meth:`is_satisfied` for scalar hot loops.
+
+        All expression constraints compile once into one conjunction code object
+        (``(c1) and (c2) and ...``); Python's ``and`` short-circuits exactly like
+        the ``all()`` loop, and an expression that raises makes the conjunction
+        raise, which maps to the same "violated" verdict the per-constraint wrapper
+        returns.  Falls back to :meth:`is_satisfied` when any member is an opaque
+        callable or for the missing-parameter error path.
+        """
+        code = self.__dict__.get("_conjunction", False)
+        if code is False:
+            code = None
+            if self._constraints and not any(c.is_callable for c in self._constraints):
+                source = " and ".join(f"({c.expression})" for c in self._constraints)
+                try:
+                    code = compile(source, "<constraint-conjunction>", "eval")
+                except SyntaxError:
+                    # Valid standalone expressions can break when parenthesized
+                    # and joined (e.g. a trailing comment swallows the closing
+                    # paren); those sets just keep the per-constraint loop.
+                    code = None
+            self._conjunction = code
+        if code is None:
+            return self.is_satisfied(config)
+        try:
+            return bool(eval(code, {"__builtins__": _SAFE_BUILTINS}, config))
+        except (KeyError, NameError):
+            return self.is_satisfied(config)  # exact missing-parameter semantics
+        except Exception:
+            return False  # raises-means-violated, like the per-constraint path
 
     def satisfied_mask(self, columns: Mapping[str, Any], n: int | None = None,
                        configs: Sequence[Mapping[str, Any]] | None = None) -> np.ndarray:

@@ -5,6 +5,18 @@ that was tried, the measured objective value (kernel runtime in milliseconds for
 BAT benchmark), and whether the configuration was valid on the target device.  A whole
 tuning run is summarised by a :class:`TuningResult`, which keeps the ordered observation
 list plus convenience accessors for the convergence analyses of the paper (Fig. 2).
+
+Lazy configurations
+-------------------
+The index-native tuner runtime (:meth:`repro.core.problem.TuningProblem.evaluate_index`)
+identifies configurations by their mixed-radix space index and never touches
+dictionaries in its hot loop.  Observations it produces carry a :class:`LazyConfig` --
+a read-only mapping that materialises the configuration dictionary from the space's
+value columns on first access and caches it.  Convergence traces, budget accounting
+and best-so-far tracking read only ``value``/``valid``, so for most observations the
+dictionary is never built; serialization, ``best_config`` and equality comparisons see
+exactly the dictionary the dict-based path would have produced (same values, same
+parameter order).
 """
 
 from __future__ import annotations
@@ -18,7 +30,50 @@ import numpy as np
 from repro.core.errors import ReproError
 from repro.core.searchspace import config_key
 
-__all__ = ["Observation", "TuningResult"]
+__all__ = ["LazyConfig", "Observation", "TuningResult"]
+
+
+class LazyConfig(Mapping):
+    """Configuration mapping materialised on demand from ``(space, index)``.
+
+    Behaves exactly like the dictionary ``space.config_at(index)`` under every
+    :class:`~typing.Mapping` operation (lookup, iteration, ``dict(...)`` conversion,
+    equality against plain dictionaries in either direction) but defers building it
+    until something actually reads a key.  Instances are read-only and un-hashable,
+    like any mapping view; use :func:`~repro.core.searchspace.config_key` (or
+    :attr:`space_index`) as a key.
+    """
+
+    __slots__ = ("_space", "_index", "_config")
+
+    def __init__(self, space: Any, index: int):
+        self._space = space
+        self._index = index
+        self._config: dict[str, Any] | None = None
+
+    @property
+    def space_index(self) -> int:
+        """Mixed-radix index of this configuration in its search space."""
+        return self._index
+
+    def _materialize(self) -> dict[str, Any]:
+        config = self._config
+        if config is None:
+            config = self._space.config_at(self._index)
+            self._config = config
+        return config
+
+    def __getitem__(self, key: str) -> Any:
+        return self._materialize()[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._materialize())
+
+    def __len__(self) -> int:
+        return len(self._space.parameters)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self._materialize())
 
 
 @dataclass(frozen=True)
@@ -53,7 +108,27 @@ class Observation:
     benchmark: str = ""
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "config", dict(self.config))
+        # Lazy configurations stay lazy (the copy would defeat them); everything
+        # else is snapshotted so later caller-side mutation cannot corrupt results.
+        if not isinstance(self.config, LazyConfig):
+            object.__setattr__(self, "config", dict(self.config))
+
+    @classmethod
+    def fast(cls, config: Mapping[str, Any], value: float, valid: bool, error: str,
+             evaluation_index: int, gpu: str, benchmark: str) -> "Observation":
+        """Allocation fast path for the index-native runtime.
+
+        Field-for-field identical to the dataclass constructor but writes the
+        instance dictionary directly, skipping the frozen-field ``__setattr__``
+        machinery and ``__post_init__`` -- the caller guarantees ``config`` is
+        already a :class:`LazyConfig` or a dictionary it owns.  Millions of
+        observations per campaign make this worth the byte of ugliness.
+        """
+        obs = cls.__new__(cls)
+        obs.__dict__.update(config=config, value=value, valid=valid, error=error,
+                            evaluation_index=evaluation_index, gpu=gpu,
+                            benchmark=benchmark)
+        return obs
 
     @property
     def key(self) -> tuple[tuple[str, Any], ...]:

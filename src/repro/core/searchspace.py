@@ -51,11 +51,23 @@ the literature the paper builds on: ``"adjacent"`` (one step up/down in each
 parameter's ordered value list) and ``"hamming"`` (all configurations differing in
 exactly one parameter, the fitness-flow-graph neighbourhood of Schoonhoven et al.).
 Neighbour validity is checked as one mask over the candidate index block.
+
+*Index-native neighbourhood kernels.*  The tuner runtime never builds configuration
+dictionaries inside its hot loop: :meth:`SearchSpace.hamming_neighbors` and
+:meth:`SearchSpace.adjacent_neighbors` compute the whole neighbourhood of a point by
+digit arithmetic (``index + (digit' - digit) * place``) from precomputed per-parameter
+offset tables, filter it through :meth:`satisfied_mask`, and return a raw index array.
+Candidate order is identical to the dictionary-based :meth:`neighbors` (parameters in
+declaration order, digits ascending, current digit skipped), which is what keeps
+index-native local search byte-identical to the seed implementation.
+:meth:`encode_indices`/:meth:`decode_digits` are the matching index-native forms of
+the ML feature codec.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Mapping as _MappingABC
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -79,6 +91,11 @@ MEMOIZE_THRESHOLD_DEFAULT: int = 1_000_000
 
 #: Index-block length used by chunked enumeration, counting and masking.
 _CHUNK: int = 1 << 17
+
+#: Largest rejection-sampling block checked through the scalar constraint path.
+#: Below this row count the per-row scalar code objects are cheaper than spinning up
+#: the batch evaluators (crossover sits around a dozen rows on the kernel spaces).
+_SCALAR_CHECK_MAX: int = 8
 
 
 def config_key(config: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:
@@ -136,9 +153,26 @@ class SearchSpace:
             p.values_array() for p in self._parameters)
         self._value_objects: tuple[np.ndarray, ...] = tuple(
             p.values_object_array() for p in self._parameters)
+        self._column_of: dict[str, int] = {p.name: j
+                                           for j, p in enumerate(self._parameters)}
+        # Flat (name, values, place) rows for the scalar decoder: tuple indexing
+        # beats one method call per parameter on the config_at hot path.
+        self._decode_table: tuple[tuple[str, tuple, int], ...] = tuple(
+            (p.name, p.values, place)
+            for p, place in zip(self._parameters, self._place_values))
         self.memoize_threshold = (MEMOIZE_THRESHOLD_DEFAULT if memoize_threshold is None
                                   else int(memoize_threshold))
         self._feasible: np.ndarray | None = None
+        # Flattened per-parameter digit tables for the index-native neighbourhood
+        # kernels: for every (parameter, digit) pair, the digit's index offset
+        # (digit * place), its parameter column and the digit itself, concatenated in
+        # parameter order.  sum(radices) entries; built once, tiny.
+        self._nb_offsets = np.concatenate(
+            [np.arange(r, dtype=np.int64) * p for r, p in zip(cards, place)])
+        self._nb_param = np.repeat(np.arange(len(cards), dtype=np.int64),
+                                   self._radices)
+        self._nb_digit = np.concatenate(
+            [np.arange(r, dtype=np.int64) for r in cards])
 
     # ------------------------------------------------------------------ basic queries
 
@@ -232,9 +266,9 @@ class SearchSpace:
                 f"index {index} out of range [0, {self._cardinality})")
         config: Config = {}
         rem = int(index)
-        for p, place in zip(self._parameters, self._place_values):
+        for name, values, place in self._decode_table:
             digit, rem = divmod(rem, place)
-            config[p.name] = p.value_at(digit)
+            config[name] = values[digit]
         return config
 
     # ----------------------------------------------------------------- batch codecs
@@ -303,16 +337,17 @@ class SearchSpace:
         """Constraint mask of an index block: ``mask[i]`` iff point ``i`` is feasible.
 
         Element-wise equivalent to calling ``constraints.is_satisfied(config_at(i))``
-        per index, evaluated in one NumPy pass per vectorized constraint.
+        per index, evaluated in one NumPy pass per vectorized constraint.  Value
+        columns are gathered lazily, so parameters no constraint mentions never pay
+        the digit->value gather.
         """
         if digits is None:
             digits = self.indices_to_digits(indices)
         n = digits.shape[0]
         if not len(self._constraints):
             return np.ones(n, dtype=bool)
-        columns = self.columns_at(None, digits=digits)
         return self._constraints.satisfied_mask(
-            columns, n, configs=_LazyConfigs(self, digits))
+            _LazyColumns(self, digits), n, configs=_LazyConfigs(self, digits))
 
     def feasible_indices(self, force: bool = False) -> np.ndarray | None:
         """Sorted array of all constraint-satisfying indices, memoized.
@@ -362,6 +397,54 @@ class SearchSpace:
                 out[:, j] = (base // place) % radix
         return out
 
+    def _columns_for_range(self, start: int, stop: int,
+                           names: frozenset[str] | None = None) -> dict[str, np.ndarray]:
+        """Named value columns of the contiguous index range ``[start, stop)``.
+
+        Value columns of consecutive indices are periodic exactly like their digit
+        columns (period = radix x place), so they are assembled by tile/repeat of the
+        per-parameter value arrays directly -- skipping both the digit matrix and the
+        digit->value gather of :meth:`columns_at`.  Columns whose period dwarfs the
+        range fall back to the division codec plus gather to bound memory.  With
+        ``names`` given, only those columns are materialised (the constraint-sweep
+        case: parameters no constraint reads never cost anything).
+        """
+        n = stop - start
+        out: dict[str, np.ndarray] = {}
+        base = None
+        for p, values, radix, place in zip(self._parameters, self._value_columns,
+                                           self._radices.tolist(),
+                                           self._places.tolist()):
+            if names is not None and p.name not in names:
+                continue
+            period = radix * place
+            if period <= 4 * n:
+                offset = start % period
+                reps = -(-(offset + n) // period)
+                pattern = np.repeat(values, place)
+                out[p.name] = np.tile(pattern, reps)[offset:offset + n]
+            else:
+                if base is None:
+                    base = np.arange(start, stop, dtype=np.int64)
+                out[p.name] = values[(base // place) % radix]
+        return out
+
+    def _feasible_mask_range(self, start: int, stop: int) -> np.ndarray:
+        """Constraint mask of a contiguous index range.
+
+        When every constraint has a batch evaluator the value columns are built by
+        tiling (:meth:`_columns_for_range`) -- and only the columns the constraint
+        expressions actually reference -- with no digit matrix at all; a single
+        opaque callable forces the general digit path, whose scalar fallback needs
+        digits to materialise row configurations.
+        """
+        if self._constraints.all_vectorized:
+            return self._constraints.satisfied_mask(
+                self._columns_for_range(start, stop,
+                                        names=self._constraints.referenced_parameters()),
+                stop - start)
+        return self.satisfied_mask(None, digits=self._digits_for_range(start, stop))
+
     def _iter_feasible_blocks(self, chunk_size: int = _CHUNK) -> Iterator[np.ndarray]:
         """Stream ascending blocks of feasible indices without memoization."""
         if not len(self._constraints):
@@ -371,7 +454,7 @@ class SearchSpace:
             return
         for start in range(0, self._cardinality, chunk_size):
             stop = min(start + chunk_size, self._cardinality)
-            mask = self.satisfied_mask(None, digits=self._digits_for_range(start, stop))
+            mask = self._feasible_mask_range(start, stop)
             if mask.any():
                 yield np.arange(start, stop, dtype=np.int64)[mask]
 
@@ -461,6 +544,37 @@ class SearchSpace:
         if n == 0:
             return np.empty(0, dtype=np.int64)
         feasible = self._feasible if valid_only else None
+        if (n == 1 and not unique and valid_only and feasible is None
+                and len(self._constraints)):
+            # The tuner runtime's restart draw: a tight scalar rejection loop.  One
+            # scalar ``integers`` call consumes the same random stream as a size-1
+            # block, and the scalar constraint check agrees with the mask by the
+            # compilation contract, so the drawn index is bit-identical to the
+            # general path below at a fraction of its per-iteration overhead.
+            rows = self._feasibility_rows()
+            if rows is None:
+                satisfied = self._constraints.is_satisfied
+                namespace_at = self.config_at
+            else:
+                satisfied = self._constraints.is_satisfied_fast
+                def namespace_at(index: int, _rows=rows) -> dict:
+                    return {name: values[(index // place) % radix]
+                            for name, values, place, radix in _rows}
+            integers = rng.integers
+            cardinality = self._cardinality
+            max_attempts = max(max_attempts_factor, 1000)
+            for _ in range(max_attempts):
+                index = int(integers(0, cardinality))
+                if satisfied(namespace_at(index)):
+                    return np.asarray([index], dtype=np.int64)
+            self.feasible_indices()  # memoize (small spaces) for the next attempt
+            # Every draw failed (a success returns immediately), so the observed
+            # feasible fraction is exactly zero.
+            raise EmptySearchSpaceError(
+                f"could not draw 1 valid configurations "
+                f"from space of cardinality {self._cardinality} "
+                f"after {max_attempts} attempts (found 0); observed feasible "
+                f"fraction 0.000% over {max_attempts} draws")
         if feasible is not None and unique and n > feasible.size:
             raise EmptySearchSpaceError(
                 f"cannot draw {n} unique valid configurations from a space with only "
@@ -511,13 +625,20 @@ class SearchSpace:
                         pos = np.searchsorted(feasible, draws)
                         pos[pos == feasible.size] = 0
                         ok = feasible[pos] == draws
+                        good_list = ok.tolist()
                     else:
-                        ok = np.zeros(need, dtype=bool)
+                        good_list = [False] * need
+                elif need <= _SCALAR_CHECK_MAX and len(self._constraints):
+                    # Tiny blocks (the tail of a draw, or the single-restart draws
+                    # of the tuner runtime) check through the scalar constraint
+                    # code objects: for a handful of rows they beat the batch
+                    # evaluators by an order of magnitude, and the compilation
+                    # contract keeps the verdicts identical.
+                    good_list = [self.index_is_feasible(i) for i in draws.tolist()]
                 else:
-                    ok = self.satisfied_mask(draws)
+                    good_list = self.satisfied_mask(draws).tolist()
                 checked += need
-                passed += int(ok.sum())
-                good_list = ok.tolist()
+                passed += sum(good_list)
             else:
                 good_list = None
             for k, idx in enumerate(draws.tolist()):
@@ -556,6 +677,13 @@ class SearchSpace:
                    valid_only: bool = True) -> Config:
         """Draw a single random (valid) configuration."""
         return self.sample(1, rng=rng, valid_only=valid_only, unique=False)[0]
+
+    def sample_one_index(self, rng: np.random.Generator | int | None = None,
+                         valid_only: bool = True) -> int:
+        """Index form of :meth:`sample_one`: same rejection loop, same random
+        stream, no configuration dictionary."""
+        return int(self.sample_indices(1, rng=rng, valid_only=valid_only,
+                                       unique=False)[0])
 
     def default_configuration(self) -> Config:
         """Configuration made of every parameter's default value."""
@@ -617,6 +745,140 @@ class SearchSpace:
         if not options:
             return None
         return options[int(rng.integers(0, len(options)))]
+
+    # -------------------------------------------------- index-native neighbourhoods
+
+    def _digits_of_index(self, index: int) -> np.ndarray:
+        """Digit vector of one index (the scalar row of :meth:`indices_to_digits`)."""
+        if not (0 <= index < self._cardinality):
+            raise InvalidConfigurationError(
+                f"index {index} out of range [0, {self._cardinality})")
+        return (index // self._places) % self._radices
+
+    def _filter_neighbor_candidates(self, base_digits: np.ndarray,
+                                    candidates: np.ndarray, params: np.ndarray,
+                                    new_digits: np.ndarray,
+                                    valid_only: bool) -> np.ndarray:
+        """Apply the constraint mask to a one-parameter-changed candidate block.
+
+        Candidate digit rows are the base row with a single column replaced, so the
+        digit matrix is assembled by repeat + scatter instead of the general codec.
+        """
+        if not valid_only or not len(self._constraints):
+            return candidates
+        digits = np.repeat(base_digits[None, :], candidates.size, axis=0)
+        digits[np.arange(candidates.size), params] = new_digits
+        return candidates[self.satisfied_mask(None, digits=digits)]
+
+    def hamming_neighbors(self, index: int, valid_only: bool = True) -> np.ndarray:
+        """Indices of all configurations differing from ``index`` in exactly one
+        parameter (the fitness-flow-graph neighbourhood), by digit arithmetic.
+
+        Candidate order matches :meth:`neighbors`: parameters in declaration order,
+        replacement digits ascending, the current digit skipped --
+        ``configs_at(hamming_neighbors(i))`` equals ``neighbors(config_at(i))``.
+        No configuration dictionary is ever constructed.
+        """
+        digits = self._digits_of_index(index)
+        keep = self._nb_digit != digits[self._nb_param]
+        params = self._nb_param[keep]
+        candidates = index + self._nb_offsets[keep] - digits[params] * self._places[params]
+        return self._filter_neighbor_candidates(
+            digits, candidates, params, self._nb_digit[keep], valid_only)
+
+    def adjacent_neighbors(self, index: int, valid_only: bool = True) -> np.ndarray:
+        """Indices one ordered-value step away in each parameter (digit +- 1).
+
+        Candidate order matches :meth:`neighbors` with ``strategy="adjacent"``: per
+        parameter, the smaller value first, then the larger (where they exist).
+        """
+        digits = self._digits_of_index(index)
+        down = index - self._places
+        up = index + self._places
+        candidates = np.stack([down, up], axis=1).ravel()
+        params = np.repeat(np.arange(self.dimensions, dtype=np.int64), 2)
+        new_digits = np.stack([digits - 1, digits + 1], axis=1).ravel()
+        keep = (new_digits >= 0) & (new_digits < self._radices[params])
+        return self._filter_neighbor_candidates(
+            digits, candidates[keep], params[keep], new_digits[keep], valid_only)
+
+    #: Entry cap of the per-space neighbourhood memo (arrays of ~sum(radices)
+    #: int64 each; 4096 entries stay well under a few MB on every kernel space).
+    _NEIGHBOR_MEMO_MAX: int = 4096
+
+    def neighbor_indices(self, index: int, strategy: str = "hamming",
+                         valid_only: bool = True) -> np.ndarray:
+        """Index-native form of :meth:`neighbors` (dispatches on ``strategy``).
+
+        Valid-only neighbourhoods are pure functions of the index, so they memoize
+        (bounded, reset when the memo fills): iterated local search repeatedly
+        re-climbs the same basins after perturbation, and the revisit then costs a
+        dictionary probe instead of a constraint mask.
+        """
+        memo = self.__dict__.get("_nb_memo")
+        if memo is None:
+            memo = self._nb_memo = {}
+        key = (strategy, index, len(self._constraints)) if valid_only else None
+        if key is not None:
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+        if strategy == "hamming":
+            out = self.hamming_neighbors(index, valid_only=valid_only)
+        elif strategy == "adjacent":
+            out = self.adjacent_neighbors(index, valid_only=valid_only)
+        else:
+            raise InvalidConfigurationError(
+                f"unknown neighbourhood strategy {strategy!r} (use 'hamming' or 'adjacent')")
+        if key is not None:
+            if len(memo) >= self._NEIGHBOR_MEMO_MAX:
+                memo.clear()
+            out.setflags(write=False)
+            memo[key] = out
+        return out
+
+    def _feasibility_rows(self) -> tuple[tuple[str, tuple, int, int], ...] | None:
+        """Decode rows ``(name, values, place, radix)`` for the parameters the
+        constraint expressions reference, or None when any constraint is opaque
+        (callables may read parameters the expressions never name)."""
+        if self.__dict__.get("_feas_rows_n") != len(self._constraints):
+            self.__dict__.pop("_feas_rows", None)
+            self._feas_rows_n = len(self._constraints)
+        rows = self.__dict__.get("_feas_rows", False)
+        if rows is False:
+            referenced = self._constraints.referenced_parameters()
+            if referenced is None or any(c.is_callable for c in self._constraints):
+                rows = None
+            else:
+                rows = tuple(
+                    (p.name, p.values, place, radix)
+                    for p, place, radix in zip(self._parameters, self._place_values,
+                                               self._radices.tolist())
+                    if p.name in referenced)
+            self._feas_rows = rows
+        return rows
+
+    def index_is_feasible(self, index: int) -> bool:
+        """Constraint satisfaction of one index (no configuration dictionary).
+
+        Element-wise equivalent to ``is_valid(config_at(index))`` for in-range
+        indices (range membership is what dictionary membership checks establish).
+        A single point evaluates through the scalar constraint code objects over a
+        namespace holding only the referenced parameters -- for one row that is an
+        order of magnitude cheaper than spinning up the batch evaluators, and the
+        compilation contract makes the paths agree.
+        """
+        if not (0 <= index < self._cardinality):
+            raise InvalidConfigurationError(
+                f"index {index} out of range [0, {self._cardinality})")
+        if not len(self._constraints):
+            return True
+        rows = self._feasibility_rows()
+        if rows is None:
+            return self._constraints.is_satisfied(self.config_at(index))
+        return self._constraints.is_satisfied_fast(
+            {name: values[(index // place) % radix]
+             for name, values, place, radix in rows})
 
     # ------------------------------------------------------------------- reduction
 
@@ -690,17 +952,49 @@ class SearchSpace:
                 out[:, j] = [float(p.index_of(c[p.name])) for c in configs]
         return out
 
-    def decode(self, vector: Sequence[float]) -> Config:
-        """Map a feature vector back to the nearest member configuration."""
+    def encode_indices(self, indices: np.ndarray | Sequence[int], *,
+                       digits: np.ndarray | None = None) -> np.ndarray:
+        """Index-native form of :meth:`encode_batch`: feature rows straight from the
+        value columns, no configuration dictionaries.
+
+        Numeric parameters contribute their value, all others their ordinal digit --
+        element-wise identical to encoding the materialised configurations.
+        """
+        if digits is None:
+            digits = self.indices_to_digits(indices)
+        out = np.empty((digits.shape[0], self.dimensions), dtype=float)
+        for j, (p, col) in enumerate(zip(self._parameters, self._value_columns)):
+            if p.is_numeric:
+                out[:, j] = col[digits[:, j]].astype(float)
+            else:
+                out[:, j] = digits[:, j].astype(float)
+        return out
+
+    def decode_digits(self, vector: Sequence[float]) -> np.ndarray:
+        """Digit vector of the member configuration nearest to a feature vector.
+
+        The per-parameter nearest-value rule (first minimum of ``|grid - x|``) is
+        exactly the one :meth:`decode` applies, so
+        ``config_at(digits_to_indices(decode_digits(v)[None, :])[0])`` equals
+        ``decode(v)``.
+        """
         if len(vector) != self.dimensions:
             raise InvalidConfigurationError(
                 f"vector has {len(vector)} entries, expected {self.dimensions}")
-        config: Config = {}
-        for p, x in zip(self._parameters, vector):
-            grid = p.numeric_values()
-            nearest = int(np.argmin(np.abs(grid - float(x))))
-            config[p.name] = p.value_at(nearest)
-        return config
+        digits = np.empty(self.dimensions, dtype=np.int64)
+        for j, (p, x) in enumerate(zip(self._parameters, vector)):
+            digits[j] = int(np.argmin(np.abs(p.numeric_values() - float(x))))
+        return digits
+
+    def decode_index(self, vector: Sequence[float]) -> int:
+        """Mixed-radix index of the member configuration nearest to ``vector``."""
+        return int(self.decode_digits(vector) @ self._places)
+
+    def decode(self, vector: Sequence[float]) -> Config:
+        """Map a feature vector back to the nearest member configuration."""
+        digits = self.decode_digits(vector)
+        return {p.name: p.value_at(int(d))
+                for p, d in zip(self._parameters, digits)}
 
     # ------------------------------------------------------------------ serialization
 
@@ -745,6 +1039,39 @@ class SearchSpace:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SearchSpace(name={self.name!r}, dimensions={self.dimensions}, "
                 f"cardinality={self.cardinality})")
+
+
+class _LazyColumns(_MappingABC):
+    """Name-indexable view of a digit matrix that gathers value columns on demand.
+
+    Handed to :meth:`ConstraintSet.satisfied_mask` so each batch evaluator only pays
+    the digit->value gather for the parameters its expression actually references;
+    iterating lists every parameter name, so dict-style consumers (e.g. the
+    reduced-space constraint wrappers, which ``update`` a real dict from this view)
+    see the complete column set.
+    """
+
+    __slots__ = ("_space", "_digits", "_cache")
+
+    def __init__(self, space: "SearchSpace", digits: np.ndarray):
+        self._space = space
+        self._digits = digits
+        self._cache: dict[str, np.ndarray] = {}
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        column = self._cache.get(name)
+        if column is None:
+            space = self._space
+            j = space._column_of[name]  # KeyError -> missing-parameter semantics
+            column = space._value_columns[j][self._digits[:, j]]
+            self._cache[name] = column
+        return column
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._space.parameter_names)
+
+    def __len__(self) -> int:
+        return len(self._space._parameters)
 
 
 class _LazyConfigs:

@@ -35,6 +35,7 @@ from repro.exec.executors import (
     resume_campaign,
     run_campaign,
 )
+from repro.exec.progress import ShardProgressReporter
 from repro.exec.planner import (
     DEFAULT_SHARD_SIZE,
     PAPER_SAMPLE_SIZE,
@@ -48,7 +49,7 @@ from repro.exec.planner import (
 __all__ = [
     "CampaignPlan", "CampaignUnit", "CheckpointStore", "Executor",
     "ParallelExecutor", "SerialExecutor", "Shard", "ShardPlanner",
-    "run_campaign", "resume_campaign",
+    "run_campaign", "resume_campaign", "ShardProgressReporter",
     "resolve_memoize_threshold", "apply_memoize_threshold",
     "DEFAULT_SHARD_SIZE", "MEMOIZE_THRESHOLD_ENV",
     "PAPER_SAMPLE_SIZE", "PAPER_SAMPLED_BENCHMARKS",

@@ -146,8 +146,12 @@ class CheckpointStore:
     def status(self, plan: CampaignPlan | None = None) -> dict[str, object]:
         """Completion summary of the checkpoint directory.
 
-        Returns per-unit completed/total shard counts plus campaign totals; used by
-        the ``status`` CLI subcommand and by tests.
+        Returns per-unit completed/total shard and config counts (with percentages)
+        plus campaign totals, and -- when at least two fragments exist -- a timing
+        estimate derived from the fragment files' modification times: elapsed
+        wall-clock between the first and last completed shard, the implied
+        configs-per-second throughput, and the ETA for the remaining configs at
+        that rate.  Used by the ``status`` CLI subcommand and by tests.
         """
         if plan is None:
             plan = self.load_plan()
@@ -156,15 +160,39 @@ class CheckpointStore:
         for unit in plan.units:
             shards = plan.shards_of(unit)
             completed = [s for s in shards if s.shard_id in done]
+            configs_completed = sum(s.n_configs for s in completed)
             units.append({
                 "benchmark": unit.benchmark, "gpu": unit.gpu,
                 "shards_completed": len(completed), "shards_total": len(shards),
-                "configs_completed": sum(s.n_configs for s in completed),
+                "configs_completed": configs_completed,
                 "configs_total": unit.n_configs,
+                "percent": round(100.0 * configs_completed / unit.n_configs, 1)
+                           if unit.n_configs else 100.0,
             })
-        return {
+        configs_completed = sum(u["configs_completed"] for u in units)
+        configs_total = sum(u["configs_total"] for u in units)
+        status: dict[str, object] = {
             "directory": str(self.directory),
             "shards_completed": len(done),
             "shards_total": len(plan.shards),
-            "units": units,
+            "configs_completed": configs_completed,
+            "configs_total": configs_total,
+            "percent": round(100.0 * configs_completed / configs_total, 1)
+                       if configs_total else 100.0,
         }
+        timed = [(self.fragment_path(s).stat().st_mtime, s.n_configs)
+                 for s in plan.shards if s.shard_id in done]
+        if len(timed) >= 2:
+            timed.sort()
+            elapsed = timed[-1][0] - timed[0][0]
+            if elapsed > 0:
+                # The earliest fragment's mtime marks the end of its shard, so the
+                # observed span covers all completed configs but that shard's.
+                rate = max(configs_completed - timed[0][1], 1) / elapsed
+                status["elapsed_s"] = round(elapsed, 3)
+                status["configs_per_s"] = round(rate, 1)
+                if configs_total > configs_completed:
+                    status["eta_s"] = round(
+                        (configs_total - configs_completed) / rate, 3)
+        status["units"] = units
+        return status

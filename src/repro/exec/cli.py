@@ -48,6 +48,7 @@ from repro.exec.executors import (
     resume_campaign,
 )
 from repro.exec.planner import PAPER_SAMPLE_SIZE, DEFAULT_SHARD_SIZE, ShardPlanner
+from repro.exec.progress import ShardProgressReporter, format_duration
 
 __all__ = ["main", "build_parser"]
 
@@ -182,8 +183,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             _print_plan_table(_planner_from_args(args).plan(), out)
             return 0
 
-        progress = None if getattr(args, "quiet", True) else (
-            lambda line: print(line, file=out))
+        progress = None if getattr(args, "quiet", True) else ShardProgressReporter(
+            emit=lambda line: print(line, file=out))
 
         if args.command == "run":
             planner = _planner_from_args(args)
@@ -220,10 +221,19 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             for row in status["units"]:
                 print(f"{row['benchmark']:>14}/{row['gpu']:<12} "
                       f"shards {row['shards_completed']:>4}/{row['shards_total']:<4} "
-                      f"configs {row['configs_completed']:>8}/{row['configs_total']:<8}",
+                      f"configs {row['configs_completed']:>8}/{row['configs_total']:<8} "
+                      f"{row['percent']:>5.1f}%",
                       file=out)
-            print(f"total: {status['shards_completed']}/{status['shards_total']} "
-                  f"shards complete", file=out)
+            summary = (f"total: {status['shards_completed']}/{status['shards_total']} "
+                       f"shards, {status['configs_completed']}/"
+                       f"{status['configs_total']} configs "
+                       f"({status['percent']:.1f}%) complete")
+            if "elapsed_s" in status:
+                summary += (f"; elapsed {format_duration(status['elapsed_s'])} "
+                            f"at {status['configs_per_s']:.0f} configs/s")
+                if "eta_s" in status:
+                    summary += f", eta {format_duration(status['eta_s'])}"
+            print(summary, file=out)
             return 0
     except ReproError as exc:
         print(f"error: {exc}", file=out)

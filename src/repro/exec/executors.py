@@ -35,12 +35,15 @@ from repro.core.errors import ReproError
 from repro.exec.checkpoint import CheckpointStore, benchmark_fingerprint
 from repro.exec.config import apply_memoize_threshold, resolve_memoize_threshold
 from repro.exec.planner import CampaignPlan, CampaignUnit, Shard, ShardPlanner, unit_indices
+from repro.exec.progress import ShardProgressReporter
 from repro.exec.worker import evaluate_shard, init_worker
 
 __all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "run_campaign",
            "resume_campaign"]
 
-Progress = Callable[[str], None]
+#: Either a plain per-shard line sink, or a reporter with ``begin``/``shard_done``
+#: (e.g. :class:`~repro.exec.progress.ShardProgressReporter` for percent/ETA lines).
+Progress = Callable[[str], None] | ShardProgressReporter
 
 
 @dataclass(frozen=True)
@@ -169,9 +172,11 @@ class Executor(abc.ABC):
         rows_by_shard: dict[int, list[tuple[float, bool, str]]] = {}
         configs_by_shard: dict[int, list[Mapping[str, Any]]] = {}
         tasks: list[_ShardTask] = []
+        selected_shards: list[Shard] = []
         for shard in plan.shards:
             if shard.unit_key not in units_by_key:
                 continue
+            selected_shards.append(shard)
             if shard.shard_id in done:
                 rows_by_shard[shard.shard_id] = checkpoint.load_shard(shard)
                 continue
@@ -180,6 +185,12 @@ class Executor(abc.ABC):
                 shard=shard, unit=unit,
                 benchmark=benchmarks[shard.benchmark], gpu=gpus[shard.gpu],
                 indices=indices_by_unit[shard.unit_key][shard.start:shard.stop]))
+
+        reporter = progress if isinstance(progress, ShardProgressReporter) else None
+        if reporter is not None:
+            reporter.begin(plan, selected_shards,
+                           {s.shard_id for s in selected_shards
+                            if s.shard_id in done})
 
         def on_complete(shard: Shard, rows: list[tuple[float, bool, str]],
                         configs: list[Mapping[str, Any]] | None = None) -> None:
@@ -194,7 +205,9 @@ class Executor(abc.ABC):
                 configs_by_shard[shard.shard_id] = configs
             if checkpoint is not None:
                 checkpoint.save_shard(shard, rows)
-            if progress is not None:
+            if reporter is not None:
+                reporter.shard_done(shard)
+            elif progress is not None:
                 progress(f"shard {shard.shard_id:>5} done  "
                          f"[{shard.benchmark}/{shard.gpu} "
                          f"{shard.start}:{shard.stop}]")

@@ -1,0 +1,101 @@
+"""Shard-level progress reporting for campaign executors.
+
+The executors accept either a bare ``callable(line: str)`` (the original protocol:
+one human-readable line per completed shard) or a :class:`ShardProgressReporter`,
+which additionally knows the campaign totals and therefore reports completion
+percentage, elapsed wall-clock and an ETA extrapolated from the configs-per-second
+throughput of the current session.  The CLI's ``run``/``resume`` commands construct
+a reporter unless ``--quiet`` is given.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+from repro.exec.planner import CampaignPlan, Shard
+
+__all__ = ["ShardProgressReporter", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Compact ``1h02m``/``3m20s``/``12.3s`` rendering for progress lines."""
+    if seconds < 0 or seconds != seconds:  # negative or NaN: clock skew, be quiet
+        return "?"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ShardProgressReporter:
+    """Progress sink with completed/total, percentage, elapsed and ETA.
+
+    Parameters
+    ----------
+    emit:
+        Callable receiving one rendered progress line per completed shard
+        (default: ``print``).
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(self, emit: Callable[[str], None] = print,
+                 clock: Callable[[], float] = time.monotonic):
+        self._emit = emit
+        self._clock = clock
+        self._start: float | None = None
+        self.shards_total = 0
+        self.shards_done = 0
+        self.configs_total = 0
+        self.configs_done = 0
+        self._configs_done_session = 0
+
+    # ------------------------------------------------------------------- protocol
+
+    def begin(self, plan: CampaignPlan, selected: Iterable[Shard],
+              completed_ids: Iterable[int]) -> None:
+        """Called by the executor before evaluation starts.
+
+        ``selected`` is the shard subset this run will merge (``only_units``-aware)
+        and ``completed_ids`` the shards already satisfied from a checkpoint; those
+        count as done immediately but never feed the throughput estimate.
+        """
+        selected = list(selected)
+        done = set(completed_ids)
+        self._start = self._clock()
+        self.shards_total = len(selected)
+        self.configs_total = sum(s.n_configs for s in selected)
+        self.shards_done = sum(1 for s in selected if s.shard_id in done)
+        self.configs_done = sum(s.n_configs for s in selected if s.shard_id in done)
+        self._configs_done_session = 0
+        if self.shards_done:
+            self._emit(f"resuming: {self.shards_done}/{self.shards_total} shards "
+                       f"already checkpointed "
+                       f"({self.configs_done}/{self.configs_total} configs)")
+
+    def shard_done(self, shard: Shard) -> None:
+        """Called by the executor as each shard's rows land."""
+        self.shards_done += 1
+        self.configs_done += shard.n_configs
+        self._configs_done_session += shard.n_configs
+        self._emit(self._render(shard))
+
+    # ------------------------------------------------------------------ rendering
+
+    def _render(self, shard: Shard) -> str:
+        percent = (100.0 * self.configs_done / self.configs_total
+                   if self.configs_total else 100.0)
+        elapsed = (self._clock() - self._start) if self._start is not None else 0.0
+        line = (f"shard {shard.shard_id:>5} done  "
+                f"[{shard.benchmark}/{shard.gpu} {shard.start}:{shard.stop}]  "
+                f"{self.shards_done}/{self.shards_total} shards "
+                f"({percent:.1f}%)  elapsed {format_duration(elapsed)}")
+        remaining = self.configs_total - self.configs_done
+        if remaining > 0 and self._configs_done_session > 0 and elapsed > 0:
+            rate = self._configs_done_session / elapsed
+            line += f"  eta {format_duration(remaining / rate)}"
+        return line

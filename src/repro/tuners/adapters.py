@@ -122,17 +122,11 @@ class ExternalTunerAdapter(Tuner):
             except NotImplementedError:
                 pass
         fallback = self.fallback_factory(**self._fallback_options)
-        fallback._problem = self._problem
-        fallback._budget = self._budget
-        fallback._result = self._result
-        fallback._seen = self._seen
+        self._share_run_state(fallback)
         try:
             fallback._run(problem, budget, rng)
         finally:
-            fallback._problem = None
-            fallback._budget = None
-            fallback._result = None
-            fallback._seen = set()
+            self._clear_run_state(fallback)
 
 
 class OptunaAdapter(ExternalTunerAdapter):

@@ -15,6 +15,18 @@ or not the configuration turns out to be valid -- failed compilations cost time 
 hardware, and the paper's convergence plots count them.  Once the budget is exhausted
 :meth:`Tuner.evaluate` returns None and the tuner should stop; the base class also
 stops the run defensively if a tuner ignores that signal.
+
+Index-native runtime
+--------------------
+The hot loop of every in-repo optimizer identifies candidates by their mixed-radix
+space index: :meth:`Tuner.evaluate_index` is the integer twin of :meth:`Tuner.evaluate`
+and :meth:`Tuner.ask_random_indices` the integer twin of :meth:`Tuner.ask_random`.
+Duplicate accounting (``_seen``) keys on the integer index -- the dictionary path maps
+configurations to the same integers, so mixing paths within one run (e.g. a portfolio
+of migrated and adapter members) still counts each distinct configuration once.  The
+running best (index, value) pair is tracked in ``_track`` so index-native tuners that
+restart from the incumbent (greedy ILS) never have to recover an index from a
+configuration dictionary.
 """
 
 from __future__ import annotations
@@ -26,7 +38,7 @@ from typing import Any, Iterable, Iterator, Mapping
 import numpy as np
 
 from repro.core.budget import Budget
-from repro.core.errors import BudgetExhaustedError
+from repro.core.errors import BudgetExhaustedError, ReproError
 from repro.core.problem import TuningProblem
 from repro.core.result import Observation, TuningResult
 from repro.core.searchspace import config_key
@@ -55,7 +67,12 @@ class Tuner(abc.ABC):
         self._problem: TuningProblem | None = None
         self._budget: Budget | None = None
         self._result: TuningResult | None = None
-        self._seen: set[tuple] = set()
+        #: Duplicate-accounting keys: space indices (ints) for members of the space,
+        #: canonical config tuples only for out-of-space configurations.
+        self._seen: set[int | tuple] = set()
+        #: Running best of the current run as a mutable ``[index, value]`` pair
+        #: (shared by reference with nested tuners, like ``_seen``).
+        self._track: list = [None, math.inf]
 
     # ------------------------------------------------------------------ public API
 
@@ -66,6 +83,7 @@ class Tuner(abc.ABC):
         self._problem = problem
         self._budget = budget
         self._seen = set()
+        self._track = [None, math.inf]
         self._result = TuningResult(benchmark=problem.name, gpu=problem.gpu,
                                     tuner=self.name,
                                     seed=self.seed if seed is None else seed)
@@ -107,17 +125,111 @@ class Tuner(abc.ABC):
         self._account(config, observation)
         return observation
 
+    def evaluate_index(self, index: int, valid_hint: bool | None = None,
+                       ) -> Observation | None:
+        """Index-native twin of :meth:`evaluate`: evaluate one space index, record
+        it, and charge the budget.
+
+        ``valid_hint=True`` is passed by tuners whose candidate already went through
+        the vectorized constraint mask (neighbourhood enumeration, valid sampling,
+        post-repair checks), skipping the redundant static check.  Returns None when
+        the budget is exhausted, like :meth:`evaluate`.
+        """
+        if self._problem is None or self._budget is None or self._result is None:
+            raise RuntimeError("evaluate_index() called outside of tune()")
+        if self._budget.exhausted:
+            return None
+        index = int(index)
+        observation = self._problem.evaluate_index(index, _valid_hint=valid_hint)
+        self._account_key(index, observation)
+        return observation
+
     def _account(self, config: Mapping[str, Any], observation: Observation) -> None:
         """Charge the budget and record one observation (shared by both the scalar
         :meth:`evaluate` path and the :meth:`evaluate_all` fast path, so the
-        accounting semantics cannot drift apart)."""
-        key = config_key(config)
+        accounting semantics cannot drift apart).
+
+        Configurations that are members of the space key ``_seen`` by their integer
+        index -- the same currency :meth:`evaluate_index` uses -- so duplicate
+        accounting agrees across the two evaluation paths; out-of-space
+        configurations (only reachable through the dictionary path) fall back to the
+        canonical config tuple.
+        """
+        try:
+            key: int | tuple = self._problem.space.index_of(config)
+        except ReproError:
+            key = config_key(config)
+        self._account_key(key, observation)
+
+    def _account_key(self, key: int | tuple, observation: Observation) -> None:
         new_config = key not in self._seen
         simulated_seconds = (observation.value / 1e3
                              if math.isfinite(observation.value) else 0.0)
         self._budget.charge(simulated_seconds=simulated_seconds, new_config=new_config)
         self._seen.add(key)
+        track = self._track
+        if (isinstance(key, int) and not observation.is_failure
+                and observation.value < track[1]):
+            track[0] = key
+            track[1] = observation.value
         self._result.record(observation)
+
+    def evaluate_index_run(self, indices: Any, _peek: tuple | None = None,
+                           ) -> list[Observation]:
+        """Evaluate a run of pre-validated indices until the run or budget ends.
+
+        The index twin of :meth:`evaluate_all`: under a pure evaluation-count
+        budget the affordable prefix is known up front, so the whole slice goes
+        through :meth:`TuningProblem.evaluate_indices` and accounting happens in
+        one pass (one :meth:`Budget.charge_bulk`, one result extend) -- per
+        observation the semantics are identical to calling :meth:`evaluate_index`
+        in a loop, which is also the literal fallback for every other budget shape.
+        A result shorter than ``indices`` means the budget ran out.
+        """
+        if (self._problem is not None and self._result is not None
+                and self._budget is not None and type(self._budget) is Budget
+                and self._budget.max_unique_configs is None
+                and self._budget.max_simulated_seconds is None):
+            remaining = self._budget.remaining_evaluations
+            index_list = (indices.tolist() if isinstance(indices, np.ndarray)
+                          else [int(i) for i in indices])
+            allowed = (len(index_list) if remaining == math.inf
+                       else min(len(index_list), int(remaining)))
+            batch = index_list[:allowed]
+            if not batch:
+                return []
+            if _peek is not None and allowed < len(index_list):
+                _peek = tuple(col[:allowed] for col in _peek)
+            observations = self._problem.evaluate_indices(batch, valid_hint=True,
+                                                          _peek=_peek)
+            seen = self._seen
+            seen_add = seen.add
+            track = self._track
+            best_value = track[1]
+            isfinite = math.isfinite
+            new_configs = 0
+            simulated: list[float] = []
+            seconds = simulated.append
+            for index, obs in zip(batch, observations):
+                if index not in seen:
+                    seen_add(index)
+                    new_configs += 1
+                value = obs.value
+                seconds(value / 1e3 if isfinite(value) else 0.0)
+                if obs.valid and value < best_value:
+                    track[0] = index
+                    track[1] = best_value = value
+            self._budget.charge_bulk(len(batch), simulated_seconds=simulated,
+                                     new_configs=new_configs)
+            self._result.extend(observations)
+            return observations
+        observations: list[Observation] = []
+        for index in indices:
+            obs = self.evaluate_index(index, valid_hint=True)
+            if obs is None:
+                break
+            observations.append(obs)
+        return observations
 
     def evaluate_all(self, configs: Iterable[Mapping[str, Any]]) -> list[Observation]:
         """Evaluate configurations until the list or the budget is exhausted.
@@ -160,6 +272,35 @@ class Tuner(abc.ABC):
             return None
         return self._result.best_observation
 
+    def best_index_so_far(self) -> int | None:
+        """Space index of the best valid observation so far (None before any).
+
+        The index twin of :meth:`best_so_far`: maintained as a running minimum
+        during accounting, so no configuration dictionary is ever consulted.
+        """
+        return self._track[0]
+
+    # ----------------------------------------------------- nested-tuner plumbing
+
+    def _share_run_state(self, inner: "Tuner") -> None:
+        """Wire ``inner`` into this run's bookkeeping (problem, budget, result,
+        duplicate set, best tracker) so every evaluation it performs is recorded
+        and budgeted exactly once, against the same state."""
+        inner._problem = self._problem
+        inner._budget = self._budget
+        inner._result = self._result
+        inner._seen = self._seen
+        inner._track = self._track
+
+    def _clear_run_state(self, inner: "Tuner") -> None:
+        """Detach ``inner`` from this run's bookkeeping (inverse of
+        :meth:`_share_run_state`)."""
+        inner._problem = None
+        inner._budget = None
+        inner._result = None
+        inner._seen = set()
+        inner._track = [None, math.inf]
+
     def random_valid_config(self, problem: TuningProblem, rng: np.random.Generator,
                             max_attempts: int = 10_000) -> dict[str, Any]:
         """Draw a random configuration that satisfies the static constraints."""
@@ -181,6 +322,17 @@ class Tuner(abc.ABC):
         consecutive duplicate/invalid draws, the signal that the space has effectively
         run out of fresh valid configurations.
         """
+        for index in self.ask_random_indices(
+                space, rng, without_replacement=without_replacement,
+                batch_size=batch_size,
+                max_consecutive_rejects=max_consecutive_rejects):
+            yield space.config_at(index)
+
+    def ask_random_indices(self, space: Any, rng: np.random.Generator,
+                           without_replacement: bool = True, batch_size: int = 512,
+                           max_consecutive_rejects: int | None = None) -> Iterator[int]:
+        """Index-native form of :meth:`ask_random`: the same draw/filter stream,
+        yielding raw space indices instead of configuration dictionaries."""
         if max_consecutive_rejects is None:
             max_consecutive_rejects = max(10_000, 50 * space.dimensions)
         drawn: set[int] = set()
@@ -197,7 +349,7 @@ class Tuner(abc.ABC):
                 consecutive_rejects = 0
                 if without_replacement:
                     drawn.add(index)
-                yield space.config_at(index)
+                yield index
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(seed={self.seed})"

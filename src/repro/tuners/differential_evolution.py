@@ -5,11 +5,15 @@ creates trial vectors as ``a + F * (b - c)`` from three distinct population memb
 followed by binomial crossover with the target vector.  Because the BAT search spaces
 are discrete, trial vectors are snapped back to the nearest allowed value of each
 parameter (the standard discrete-DE treatment) and repaired against the constraints.
+
+The population state is array-native end to end: encoded position vectors come
+straight from the value columns (:meth:`~repro.core.searchspace.SearchSpace.encode_indices`),
+trial vectors snap to digit vectors (:meth:`~repro.core.searchspace.SearchSpace.decode_index`),
+repair is one constraint-mask check, and evaluation goes through the integer fast
+path -- no configuration dictionary exists in the loop.
 """
 
 from __future__ import annotations
-
-from typing import Any
 
 import numpy as np
 
@@ -45,27 +49,21 @@ class DifferentialEvolution(Tuner):
         self.differential_weight = float(differential_weight)
         self.crossover_probability = float(crossover_probability)
 
-    # --------------------------------------------------------------------- helpers
-
-    @staticmethod
-    def _snap(problem: TuningProblem, vector: np.ndarray) -> dict[str, Any]:
-        """Map an encoded vector to the nearest member configuration."""
-        return problem.space.decode(vector)
-
     # -------------------------------------------------------------------- main loop
 
     def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
         space = problem.space
-        configs = space.sample(self.population_size, rng=rng, valid_only=True, unique=True)
-        population = space.encode_batch(configs)
-        fitness = np.full(len(configs), np.inf)
-        for i, config in enumerate(configs):
-            obs = self.evaluate(config)
+        indices = space.sample_indices(self.population_size, rng=rng,
+                                       valid_only=True, unique=True)
+        population = space.encode_indices(indices)
+        fitness = np.full(indices.size, np.inf)
+        for i, index in enumerate(indices.tolist()):
+            obs = self.evaluate_index(index, valid_hint=True)
             if obs is None:
                 return
             fitness[i] = obs.value if not obs.is_failure else np.inf
 
-        n = len(configs)
+        n = indices.size
         dims = space.dimensions
         while not self.budget_exhausted:
             for target in range(n):
@@ -77,13 +75,13 @@ class DifferentialEvolution(Tuner):
                 cross = rng.random(dims) < self.crossover_probability
                 cross[int(rng.integers(0, dims))] = True  # at least one mutant gene
                 trial_vector = np.where(cross, mutant, population[target])
-                trial_config = self._snap(problem, trial_vector)
-                if not space.is_valid(trial_config):
-                    trial_config = space.sample_one(rng=rng, valid_only=True)
-                obs = self.evaluate(trial_config)
+                trial_index = space.decode_index(trial_vector)
+                if not space.index_is_feasible(trial_index):
+                    trial_index = space.sample_one_index(rng=rng, valid_only=True)
+                obs = self.evaluate_index(trial_index, valid_hint=True)
                 if obs is None:
                     return
                 value = obs.value if not obs.is_failure else np.inf
                 if value <= fitness[target]:
-                    population[target] = space.encode(trial_config)
+                    population[target] = space.encode_indices([trial_index])[0]
                     fitness[target] = value

@@ -1,24 +1,38 @@
 """Steady-state genetic algorithm.
 
-Population-based global search with tournament selection, uniform crossover over the
-parameter dictionary and per-parameter mutation.  Genetic algorithms are among the
-best-performing optimizers in the GPU-autotuning literature the paper builds on
-(Schoonhoven et al.), which makes this the primary "global optimizer" counterpart to
-the local searchers in the ablation benchmarks.
+Population-based global search with tournament selection, uniform crossover and
+per-parameter mutation.  Genetic algorithms are among the best-performing optimizers
+in the GPU-autotuning literature the paper builds on (Schoonhoven et al.), which makes
+this the primary "global optimizer" counterpart to the local searchers in the ablation
+benchmarks.
+
+The population is index-native: each individual is a mixed-radix digit vector plus its
+fitness, crossover and mutation are digit surgery, repair is one constraint-mask
+check, and evaluation goes through the integer fast path.  The genetic operators
+consume the random stream in exactly the order the dictionary-based seed
+implementation did (genes in parameter order), so trajectories are byte-identical.
 """
 
 from __future__ import annotations
-
-from typing import Any
 
 import numpy as np
 
 from repro.core.budget import Budget
 from repro.core.problem import TuningProblem
-from repro.core.result import Observation
 from repro.tuners.base import Tuner
 
 __all__ = ["GeneticAlgorithm"]
+
+
+class _Individual:
+    """One population member: digit vector, space index and fitness."""
+
+    __slots__ = ("digits", "index", "value")
+
+    def __init__(self, digits: np.ndarray, index: int, value: float):
+        self.digits = digits
+        self.index = index
+        self.value = value
 
 
 class GeneticAlgorithm(Tuner):
@@ -52,66 +66,73 @@ class GeneticAlgorithm(Tuner):
 
     # --------------------------------------------------------------------- operators
 
-    def _tournament(self, population: list[Observation], rng: np.random.Generator) -> Observation:
+    def _tournament(self, population: list[_Individual],
+                    rng: np.random.Generator) -> _Individual:
         """Select the best of ``tournament_size`` random individuals."""
         picks = rng.integers(0, len(population), size=self.tournament_size)
         contenders = [population[int(i)] for i in picks]
-        return min(contenders, key=lambda o: o.value)
+        return min(contenders, key=lambda ind: ind.value)
 
-    def _crossover(self, a: Observation, b: Observation,
-                   rng: np.random.Generator) -> dict[str, Any]:
+    def _crossover(self, a: _Individual, b: _Individual,
+                   rng: np.random.Generator) -> np.ndarray:
         """Uniform crossover: each gene comes from either parent with equal probability."""
-        child = {}
-        for name in a.config:
-            child[name] = a.config[name] if rng.random() < 0.5 else b.config[name]
+        child = np.empty_like(a.digits)
+        for j in range(child.size):
+            child[j] = a.digits[j] if rng.random() < 0.5 else b.digits[j]
         return child
 
-    def _mutate(self, problem: TuningProblem, config: dict[str, Any],
-                rng: np.random.Generator) -> dict[str, Any]:
+    def _mutate(self, problem: TuningProblem, digits: np.ndarray,
+                rng: np.random.Generator) -> np.ndarray:
         """Re-sample each gene with probability ``mutation_rate``."""
-        mutated = dict(config)
-        for parameter in problem.space.parameters:
+        for j, parameter in enumerate(problem.space.parameters):
             if rng.random() < self.mutation_rate:
-                mutated[parameter.name] = parameter.sample(rng)
-        return mutated
+                digits[j] = parameter.sample_index(rng)
+        return digits
 
-    def _repair(self, problem: TuningProblem, config: dict[str, Any],
-                rng: np.random.Generator) -> dict[str, Any]:
+    def _repair(self, problem: TuningProblem, digits: np.ndarray,
+                rng: np.random.Generator) -> tuple[np.ndarray, int]:
         """Replace constraint-violating offspring with a fresh random configuration."""
-        if problem.space.is_valid(config):
-            return config
-        return problem.space.sample_one(rng=rng, valid_only=True)
+        space = problem.space
+        index = int(space.digits_to_indices(digits[None, :])[0])
+        if space.index_is_feasible(index):
+            return digits, index
+        index = space.sample_one_index(rng=rng, valid_only=True)
+        return space._digits_of_index(index), index
 
     # -------------------------------------------------------------------- main loop
 
     def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
-        population: list[Observation] = []
+        space = problem.space
+        population: list[_Individual] = []
         # The initial population is one batched ``ask``: the space draws and
-        # constraint-filters the whole block of unique configurations in array form.
-        for config in problem.space.sample(self.population_size, rng=rng, valid_only=True,
-                                           unique=True):
-            obs = self.evaluate(config)
+        # constraint-filters the whole block of unique indices in array form.
+        initial = space.sample_indices(self.population_size, rng=rng,
+                                       valid_only=True, unique=True)
+        for index in initial.tolist():
+            obs = self.evaluate_index(index, valid_hint=True)
             if obs is None:
                 return
             if not obs.is_failure:
-                population.append(obs)
+                population.append(_Individual(space._digits_of_index(index),
+                                              index, obs.value))
         if not population:
             return
 
         while not self.budget_exhausted:
             parent_a = self._tournament(population, rng)
             parent_b = self._tournament(population, rng)
-            child_config = self._crossover(parent_a, parent_b, rng)
-            child_config = self._mutate(problem, child_config, rng)
-            child_config = self._repair(problem, child_config, rng)
-            child = self.evaluate(child_config)
-            if child is None:
+            child_digits = self._crossover(parent_a, parent_b, rng)
+            child_digits = self._mutate(problem, child_digits, rng)
+            child_digits, child_index = self._repair(problem, child_digits, rng)
+            obs = self.evaluate_index(child_index, valid_hint=True)
+            if obs is None:
                 return
-            if child.is_failure:
+            if obs.is_failure:
                 continue
+            child = _Individual(child_digits, child_index, obs.value)
             # Steady-state replacement: the child ousts the current worst individual
             # if it improves on it; elites are never replaced.
-            population.sort(key=lambda o: o.value)
+            population.sort(key=lambda ind: ind.value)
             protected = population[: self.elitism]
             rest = population[self.elitism:]
             if rest and child.value < rest[-1].value:

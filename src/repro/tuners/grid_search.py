@@ -50,8 +50,9 @@ class GridSearch(Tuner):
         if self.shuffle:
             rng.shuffle(indices)
         # Validity is resolved one block at a time through the vectorized constraint
-        # mask; only the surviving indices are materialised as configurations, and
-        # blocks never grow far beyond what the remaining budget can evaluate.
+        # mask; the surviving indices feed the evaluation fast path directly (no
+        # configuration dictionaries), and blocks never grow far beyond what the
+        # remaining budget can evaluate.
         chunk = 1 << 14
         start = 0
         while start < indices.size:
@@ -62,8 +63,8 @@ class GridSearch(Tuner):
                 min(chunk, int(remaining) * 4), 64)
             block = indices[start:start + block_size]
             start += block_size
-            for config in space.configs_at(block[space.satisfied_mask(block)]):
-                if self.budget_exhausted:
-                    return
-                if self.evaluate(config) is None:
-                    return
+            feasible = block[space.satisfied_mask(block)]
+            # One batch evaluation per feasible block: a short result means the
+            # budget ran out mid-block, exactly like the per-index loop stopping.
+            if len(self.evaluate_index_run(feasible)) < feasible.size:
+                return

@@ -5,11 +5,16 @@ metric (Fig. 3 of the paper) is designed to predict: a randomised first-improvem
 local search performs a walk on the fitness-flow graph, and the metric estimates how
 likely such a walk is to end in a good local minimum.  Having the real algorithm in the
 suite lets the ablation benchmarks check that prediction empirically.
+
+Both optimizers are index-native: the walk carries the incumbent as a mixed-radix
+space index, neighbourhoods come from the digit-arithmetic kernels
+(:meth:`~repro.core.searchspace.SearchSpace.neighbor_indices`) and evaluations go
+through :meth:`~repro.tuners.base.Tuner.evaluate_index` -- no configuration dictionary
+exists anywhere in the loop, yet the trajectories (RNG streams, observation order,
+values) are byte-identical to the dictionary-based seed implementation.
 """
 
 from __future__ import annotations
-
-from typing import Any, Mapping
 
 import numpy as np
 
@@ -51,48 +56,92 @@ class LocalSearch(Tuner):
     # ------------------------------------------------------------------ main loop
 
     def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
-        # Restart points come from the space's batched sampler and each step's
-        # neighbourhood is validity-filtered as one constraint mask, so the scalar
-        # work per iteration is just the evaluations themselves.
+        # Restart points come from the space's batched index sampler and each step's
+        # neighbourhood is one digit-arithmetic enumeration plus one constraint
+        # mask, so the per-iteration Python work is just the evaluations themselves.
         while not self.budget_exhausted:
-            start = problem.space.sample_one(rng=rng, valid_only=True)
+            start = problem.space.sample_one_index(rng=rng, valid_only=True)
             self._climb(problem, start, rng)
 
-    def _climb(self, problem: TuningProblem, start: Mapping[str, Any],
+    def _climb(self, problem: TuningProblem, start: int,
                rng: np.random.Generator) -> None:
-        current = self.evaluate(start)
+        current = self.evaluate_index(start, valid_hint=True)
         if current is None:
             return
+        current_index = start
         while not self.budget_exhausted:
-            neighbors = problem.space.neighbors(current.config, strategy=self.neighborhood,
-                                                valid_only=True)
-            if not neighbors:
+            neighbors = problem.space.neighbor_indices(
+                current_index, strategy=self.neighborhood, valid_only=True)
+            if not neighbors.size:
                 return
-            order = rng.permutation(len(neighbors))
-            improved: Observation | None = None
-            if self.strategy == "first":
-                for idx in order:
-                    obs = self.evaluate(neighbors[int(idx)])
-                    if obs is None:
-                        return
-                    if not obs.is_failure and obs.value < current.value:
-                        improved = obs
-                        break
+            permuted = neighbors[rng.permutation(neighbors.size)]
+            # Peekable objectives (cache replays) reveal every neighbour's fate in
+            # one array probe, so the step evaluates exactly the prefix the
+            # sequential loop would have -- same observations, batch accounting.
+            peek = problem.peek_indices(permuted)
+            if peek is not None:
+                step = self._step_peeked(current, permuted, peek)
             else:
-                best: Observation | None = None
-                for idx in order:
-                    obs = self.evaluate(neighbors[int(idx)])
-                    if obs is None:
-                        return
-                    if obs.is_failure:
-                        continue
-                    if best is None or obs.value < best.value:
-                        best = obs
-                if best is not None and best.value < current.value:
-                    improved = best
-            if improved is None:
-                return  # local minimum reached
-            current = improved
+                step = self._step_sequential(current, permuted)
+            if step is None:
+                return  # budget exhausted or local minimum reached
+            current, current_index = step
+
+    def _step_peeked(self, current: Observation, permuted: np.ndarray,
+                     peek: tuple) -> tuple[Observation, int] | None:
+        values, failure = peek[0], peek[1]
+        improving = ~failure & (values < current.value)
+        if self.strategy == "first":
+            hits = np.nonzero(improving)[0]
+            stop = int(hits[0]) + 1 if hits.size else permuted.size
+            batch = permuted[:stop]
+            observations = self.evaluate_index_run(
+                batch, _peek=tuple(col[:stop] for col in peek))
+            if len(observations) < batch.size or not hits.size:
+                return None
+            return observations[-1], int(batch[-1])
+        observations = self.evaluate_index_run(permuted, _peek=peek)
+        if len(observations) < permuted.size or not improving.any():
+            return None
+        # Best improvement: the first occurrence of the minimum value among the
+        # valid neighbours (matching the sequential strict-< update rule).
+        ok = np.nonzero(~failure)[0]
+        best_pos = int(ok[np.argmin(values[ok])])
+        if values[best_pos] >= current.value:
+            return None
+        return observations[best_pos], int(permuted[best_pos])
+
+    def _step_sequential(self, current: Observation, permuted: np.ndarray,
+                         ) -> tuple[Observation, int] | None:
+        improved: Observation | None = None
+        improved_index = -1
+        if self.strategy == "first":
+            for index in permuted.tolist():
+                obs = self.evaluate_index(index, valid_hint=True)
+                if obs is None:
+                    return None
+                if not obs.is_failure and obs.value < current.value:
+                    improved = obs
+                    improved_index = index
+                    break
+        else:
+            best: Observation | None = None
+            best_index = -1
+            for index in permuted.tolist():
+                obs = self.evaluate_index(index, valid_hint=True)
+                if obs is None:
+                    return None
+                if obs.is_failure:
+                    continue
+                if best is None or obs.value < best.value:
+                    best = obs
+                    best_index = index
+            if best is not None and best.value < current.value:
+                improved = best
+                improved_index = best_index
+        if improved is None:
+            return None
+        return improved, improved_index
 
 
 class GreedyILS(Tuner):
@@ -100,7 +149,9 @@ class GreedyILS(Tuner):
 
     After each descent the best-known configuration is perturbed in
     ``perturbation_strength`` randomly chosen parameters and the climb restarts from
-    there, escaping small basins without losing the incumbent.
+    there, escaping small basins without losing the incumbent.  The incumbent lives
+    as a space index (via the base class's best tracker), so perturbation is digit
+    surgery: re-sample a few digits, re-assemble the index, one constraint-mask check.
     """
 
     name = "greedy_ils"
@@ -111,32 +162,30 @@ class GreedyILS(Tuner):
         self.perturbation_strength = max(int(perturbation_strength), 1)
         self.neighborhood = neighborhood
 
-    def _perturb(self, problem: TuningProblem, config: Mapping[str, Any],
-                 rng: np.random.Generator) -> dict[str, Any]:
-        """Re-sample a few parameters of ``config`` uniformly at random."""
-        perturbed = dict(config)
-        names = list(problem.space.parameter_names)
-        chosen = rng.choice(len(names), size=min(self.perturbation_strength, len(names)),
+    def _perturb(self, problem: TuningProblem, index: int,
+                 rng: np.random.Generator) -> int:
+        """Re-sample a few digits of ``index`` uniformly at random."""
+        space = problem.space
+        digits = space._digits_of_index(index).copy()
+        dims = space.dimensions
+        chosen = rng.choice(dims, size=min(self.perturbation_strength, dims),
                             replace=False)
-        for idx in chosen:
-            parameter = problem.space.parameter(names[int(idx)])
-            perturbed[parameter.name] = parameter.sample(rng)
-        if problem.space.is_valid(perturbed):
+        for j in chosen:
+            digits[int(j)] = space.parameters[int(j)].sample_index(rng)
+        perturbed = int(space.digits_to_indices(digits[None, :])[0])
+        if space.index_is_feasible(perturbed):
             return perturbed
-        return problem.space.sample_one(rng=rng, valid_only=True)
+        return space.sample_one_index(rng=rng, valid_only=True)
 
     def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
         climber = LocalSearch(strategy="first", neighborhood=self.neighborhood)
         # Share this run's bookkeeping with the inner climber so every evaluation it
         # performs is recorded and budgeted exactly once.
-        climber._problem = self._problem
-        climber._budget = self._budget
-        climber._result = self._result
-        climber._seen = self._seen
+        self._share_run_state(climber)
 
-        incumbent = problem.space.sample_one(rng=rng, valid_only=True)
+        incumbent = problem.space.sample_one_index(rng=rng, valid_only=True)
         while not self.budget_exhausted:
             climber._climb(problem, incumbent, rng)
-            best = self.best_so_far()
-            base = best.config if best is not None else incumbent
+            best = self.best_index_so_far()
+            base = best if best is not None else incumbent
             incumbent = self._perturb(problem, base, rng)

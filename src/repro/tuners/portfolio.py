@@ -81,11 +81,9 @@ class PortfolioTuner(Tuner):
             else:
                 slice_evaluations = max(int(np.ceil(remaining / members_left)), 1)
 
-            # Wire the member into this run's result/duplicate bookkeeping while
-            # giving it a slice-limited view of the shared budget.
-            member._problem = self._problem
-            member._result = self._result
-            member._seen = self._seen
+            # Wire the member into this run's result/duplicate/best bookkeeping
+            # while giving it a slice-limited view of the shared budget.
+            self._share_run_state(member)
             member._budget = _BudgetSlice(self._budget, slice_evaluations)
             try:
                 member_rng = np.random.default_rng(int(rng.integers(0, 2**31 - 1)))
@@ -95,7 +93,4 @@ class PortfolioTuner(Tuner):
                 # remaining members still get their slices.
                 pass
             finally:
-                member._problem = None
-                member._budget = None
-                member._result = None
-                member._seen = set()
+                self._clear_run_state(member)

@@ -5,6 +5,10 @@ are snapped to the nearest allowed value of each parameter before evaluation.  T
 velocity update uses the standard inertia + cognitive + social formulation.  PSO is one
 of the global optimizers commonly shipped by the autotuners the paper integrates with
 (Kernel Tuner in particular), which is why it is part of the portfolio.
+
+Like the other population tuners, the swarm is array-native: positions encode from the
+value columns, snapping goes through the digit decoder straight to a space index, and
+evaluation uses the integer fast path -- no configuration dictionaries in the loop.
 """
 
 from __future__ import annotations
@@ -44,19 +48,20 @@ class ParticleSwarm(Tuner):
 
     def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
         space = problem.space
-        configs = space.sample(self.swarm_size, rng=rng, valid_only=True, unique=True)
-        positions = space.encode_batch(configs)
+        indices = space.sample_indices(self.swarm_size, rng=rng, valid_only=True,
+                                       unique=True)
+        positions = space.encode_indices(indices)
         # Velocity scale proportional to each dimension's value range.
         ranges = np.array([float(np.ptp(p.numeric_values())) or 1.0 for p in space.parameters])
         velocities = rng.uniform(-0.1, 0.1, size=positions.shape) * ranges
 
         personal_best = positions.copy()
-        personal_best_value = np.full(len(configs), np.inf)
+        personal_best_value = np.full(indices.size, np.inf)
         global_best = positions[0].copy()
         global_best_value = np.inf
 
-        for i, config in enumerate(configs):
-            obs = self.evaluate(config)
+        for i, index in enumerate(indices.tolist()):
+            obs = self.evaluate_index(index, valid_hint=True)
             if obs is None:
                 return
             value = obs.value if not obs.is_failure else np.inf
@@ -66,7 +71,7 @@ class ParticleSwarm(Tuner):
                 global_best = positions[i].copy()
 
         while not self.budget_exhausted:
-            for i in range(len(configs)):
+            for i in range(indices.size):
                 if self.budget_exhausted:
                     return
                 r_cog = rng.random(positions.shape[1])
@@ -76,11 +81,11 @@ class ParticleSwarm(Tuner):
                                  + self.social * r_soc * (global_best - positions[i]))
                 positions[i] = positions[i] + velocities[i]
 
-                candidate = space.decode(positions[i])
-                if not space.is_valid(candidate):
-                    candidate = space.sample_one(rng=rng, valid_only=True)
-                    positions[i] = space.encode(candidate)
-                obs = self.evaluate(candidate)
+                candidate = space.decode_index(positions[i])
+                if not space.index_is_feasible(candidate):
+                    candidate = space.sample_one_index(rng=rng, valid_only=True)
+                    positions[i] = space.encode_indices([candidate])[0]
+                obs = self.evaluate_index(candidate, valid_hint=True)
                 if obs is None:
                     return
                 value = obs.value if not obs.is_failure else np.inf

@@ -41,9 +41,10 @@ class RandomSearch(Tuner):
         # Candidates come from the base class's batch ``ask`` stream: indices are
         # drawn in blocks and filtered through the vectorized constraint mask, with
         # the evaluated sequence identical to the one-draw-at-a-time loop.  The
-        # stream ends by itself once the space has clearly run out of fresh valid
-        # configurations (small spaces under large budgets).
-        for config in self.ask_random(problem.space, rng,
-                                      without_replacement=self.without_replacement):
-            if self.evaluate(config) is None:
+        # indices go straight into the evaluation fast path (no configuration
+        # dictionaries), and the stream ends by itself once the space has clearly
+        # run out of fresh valid configurations (small spaces under large budgets).
+        for index in self.ask_random_indices(
+                problem.space, rng, without_replacement=self.without_replacement):
+            if self.evaluate_index(index, valid_hint=True) is None:
                 break

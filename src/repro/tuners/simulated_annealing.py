@@ -51,28 +51,34 @@ class SimulatedAnnealing(Tuner):
         self.restart_temperature = 1e-3
 
     def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
+        # The walk is index-native: the current state is a space index, neighbours
+        # come from the digit-arithmetic kernels, and no configuration dictionary is
+        # built anywhere in the loop.
+        space = problem.space
         while not self.budget_exhausted:
-            current = self.evaluate(problem.space.sample_one(rng=rng, valid_only=True))
+            current_index = space.sample_one_index(rng=rng, valid_only=True)
+            current = self.evaluate_index(current_index, valid_hint=True)
             if current is None:
                 return
             temperature = self.initial_temperature
             while not self.budget_exhausted and temperature > self.restart_temperature:
-                neighbor = problem.space.random_neighbor(current.config, rng,
-                                                         strategy=self.neighborhood,
-                                                         valid_only=True)
-                if neighbor is None:
+                options = space.neighbor_indices(current_index,
+                                                 strategy=self.neighborhood,
+                                                 valid_only=True)
+                if not options.size:
                     break
-                candidate = self.evaluate(neighbor)
+                neighbor = int(options[int(rng.integers(0, options.size))])
+                candidate = self.evaluate_index(neighbor, valid_hint=True)
                 if candidate is None:
                     return
                 temperature *= self.cooling_rate
                 if candidate.is_failure:
                     continue
                 if current.is_failure:
-                    current = candidate
+                    current, current_index = candidate, neighbor
                     continue
                 relative_delta = (candidate.value - current.value) / current.value
                 if relative_delta <= 0.0:
-                    current = candidate
+                    current, current_index = candidate, neighbor
                 elif rng.random() < math.exp(-relative_delta / max(temperature, 1e-9)):
-                    current = candidate
+                    current, current_index = candidate, neighbor

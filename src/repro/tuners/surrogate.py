@@ -6,18 +6,23 @@ and evaluating the candidate configurations the model predicts to be fastest (wi
 exploration fraction of pure random picks).  This is the in-repo stand-in for the
 model-based optimizers (SMAC3, Optuna's TPE) the paper integrates through its adapter
 interface.
+
+Bookkeeping is incremental and index-native: the training matrix lives in one
+capacity-doubling buffer that grows a row per successful observation (the seed
+implementation re-stacked the whole history every refit -- O(n^2) over a run), the
+``evaluated`` set keys on integer space indices, and candidate pools are featurized
+straight from the value columns
+(:meth:`~repro.core.searchspace.SearchSpace.encode_indices`) without ever building a
+configuration dictionary.
 """
 
 from __future__ import annotations
-
-from typing import Any
 
 import numpy as np
 
 from repro.core.budget import Budget
 from repro.core.errors import EmptySearchSpaceError
 from repro.core.problem import TuningProblem
-from repro.core.searchspace import config_key
 from repro.tuners.base import Tuner
 
 __all__ = ["SurrogateSearch"]
@@ -59,15 +64,17 @@ class SurrogateSearch(Tuner):
     # --------------------------------------------------------------------- helpers
 
     @staticmethod
-    def _sample_up_to(space, n: int, rng: np.random.Generator) -> list[dict[str, Any]]:
-        """Up to ``n`` unique valid configurations, degrading gracefully on tiny spaces."""
+    def _sample_indices_up_to(space, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Up to ``n`` unique valid indices, degrading gracefully on tiny spaces."""
         n = min(n, space.cardinality)
         try:
-            return space.sample(n, rng=rng, valid_only=True, unique=True)
+            return space.sample_indices(n, rng=rng, valid_only=True, unique=True)
         except EmptySearchSpaceError:
             if space.cardinality <= 100_000:
-                return list(space.enumerate(valid_only=True))
-            return space.sample(n, rng=rng, valid_only=True, unique=False)
+                blocks = list(space.enumerate_chunked(valid_only=True))
+                return (np.concatenate(blocks) if blocks
+                        else np.empty(0, dtype=np.int64))
+            return space.sample_indices(n, rng=rng, valid_only=True, unique=False)
 
     def _fit_surrogate(self, space, X: np.ndarray, y: np.ndarray):
         """Fit the GBDT surrogate on log-runtimes (log compresses the heavy tail)."""
@@ -84,41 +91,53 @@ class SurrogateSearch(Tuner):
 
     def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
         space = problem.space
-        X_rows: list[np.ndarray] = []
-        y_vals: list[float] = []
-        evaluated: set[tuple] = set()
+        # Incremental training buffers: one row per successful observation, capacity
+        # doubled on demand.  The model always fits on the first n_rows rows, so no
+        # per-refit re-encoding or re-stacking of the history ever happens.
+        capacity = max(2 * self.initial_samples, 64)
+        X_buf = np.empty((capacity, space.dimensions), dtype=float)
+        y_buf = np.empty(capacity, dtype=float)
+        n_rows = 0
+        evaluated: set[int] = set()
 
-        def _record(config: dict[str, Any]) -> bool:
-            obs = self.evaluate(config)
+        def _record(index: int) -> bool:
+            nonlocal capacity, X_buf, y_buf, n_rows
+            obs = self.evaluate_index(index, valid_hint=True)
             if obs is None:
                 return False
-            evaluated.add(config_key(config))
+            evaluated.add(index)
             if not obs.is_failure:
-                X_rows.append(space.encode(config))
-                y_vals.append(obs.value)
+                if n_rows == capacity:
+                    capacity *= 2
+                    X_buf = np.resize(X_buf, (capacity, space.dimensions))
+                    y_buf = np.resize(y_buf, capacity)
+                X_buf[n_rows] = space.encode_indices([index])[0]
+                y_buf[n_rows] = obs.value
+                n_rows += 1
             return True
 
-        for config in self._sample_up_to(space, self.initial_samples, rng):
-            if not _record(config):
+        for index in self._sample_indices_up_to(space, self.initial_samples,
+                                                rng).tolist():
+            if not _record(index):
                 return
 
         while not self.budget_exhausted:
-            if len(y_vals) < 4:
+            if n_rows < 4:
                 # Too few successful measurements to fit anything useful; explore.
-                if not _record(space.sample_one(rng=rng, valid_only=True)):
+                if not _record(space.sample_one_index(rng=rng, valid_only=True)):
                     return
                 continue
-            model = self._fit_surrogate(space, np.vstack(X_rows), np.asarray(y_vals))
-            candidates = [c for c in self._sample_up_to(space, self.candidate_pool, rng)
-                          if config_key(c) not in evaluated]
+            model = self._fit_surrogate(space, X_buf[:n_rows], y_buf[:n_rows])
+            pool = self._sample_indices_up_to(space, self.candidate_pool, rng)
+            candidates = [i for i in pool.tolist() if i not in evaluated]
             if not candidates:
-                if not _record(space.sample_one(rng=rng, valid_only=True)):
+                if not _record(space.sample_one_index(rng=rng, valid_only=True)):
                     return
                 continue
-            predictions = model.predict(space.encode_batch(candidates))
+            predictions = model.predict(space.encode_indices(candidates))
             ranking = np.argsort(predictions)
 
-            batch: list[dict[str, Any]] = []
+            batch: list[int] = []
             n_explore = int(round(self.batch_size * self.exploration_fraction))
             n_exploit = self.batch_size - n_explore
             batch.extend(candidates[int(i)] for i in ranking[:n_exploit])
@@ -127,6 +146,6 @@ class SurrogateSearch(Tuner):
                 picks = rng.choice(len(rest), size=min(n_explore, len(rest)), replace=False)
                 batch.extend(candidates[int(rest[int(p)])] for p in picks)
 
-            for config in batch:
-                if not _record(config):
+            for index in batch:
+                if not _record(index):
                     return

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
 import pytest
 
 from repro.graph.centrality import proportion_of_centrality
@@ -26,6 +27,8 @@ SAMPLE_10K_DEDISPERSION_CEILING_S = 10.0
 FFG_2K_CEILING_S = 10.0
 COUNT_GEMM_CEILING_S = 10.0
 SHARDED_CAMPAIGN_10K_CEILING_S = 20.0
+TUNER_CAMPAIGN_CEILING_S = 3.0
+EVALUATE_INDEX_20K_CEILING_S = 2.0
 
 
 def _timed(fn):
@@ -73,6 +76,60 @@ def test_sharded_campaign_execution_under_ceiling(benchmarks, gpus):
         f"sharded 10k hotspot campaign took {elapsed:.2f}s "
         f"(ceiling {SHARDED_CAMPAIGN_10K_CEILING_S}s); the execution subsystem's "
         f"shard or merge path has likely regressed to per-config dispatch")
+
+
+def test_index_native_tuner_campaign_under_ceiling(benchmarks, gpu_3090):
+    # A compressed version of the BENCH_perf tuner campaign: LocalSearch +
+    # GreedyILS, 100 seeded runs each of 150 evaluations, replayed against a
+    # sampled hotspot cache.  The index-native runtime finishes this in well under
+    # half a second; a regression to the dictionary loop (config dicts per
+    # neighbour, config-key hashing per evaluation, per-row constraint dispatch)
+    # lands this campaign beyond the ceiling even on fast machines.
+    from repro.core.budget import Budget
+    from repro.tuners import GreedyILS, LocalSearch
+
+    cache = benchmarks["hotspot"].build_cache(gpu_3090, sample_size=2_000, seed=1)
+    cache.index_table()
+
+    def campaign():
+        evaluations = 0
+        for factory in (LocalSearch, GreedyILS):
+            for seed in range(100):
+                problem = cache.to_problem(strict=False)
+                result = factory().tune(problem, Budget(max_evaluations=150),
+                                        seed=seed)
+                evaluations += len(result)
+        return evaluations
+
+    evaluations, elapsed = _timed(campaign)
+    assert evaluations == 2 * 100 * 150
+    assert elapsed < TUNER_CAMPAIGN_CEILING_S, (
+        f"200-run index-native tuner campaign took {elapsed:.2f}s "
+        f"(ceiling {TUNER_CAMPAIGN_CEILING_S}s); the tuner hot loop has likely "
+        f"regressed to the dictionary path")
+
+
+def test_evaluate_index_throughput_under_ceiling(benchmarks, gpu_3090):
+    # 20k single-index evaluations against a replay problem: guards the scalar
+    # fast path itself (columnar lookup, lazy configs, fast observation
+    # construction) independently of any tuner's loop structure.
+    cache = benchmarks["gemm"].build_cache(gpu_3090, sample_size=2_000, seed=1)
+    cache.index_table()
+    problem = cache.to_problem(strict=False)
+    space = cache.space
+    indices = np.random.default_rng(0).integers(0, space.cardinality, size=20_000)
+
+    def evaluate_all():
+        evaluate = problem.evaluate_index
+        for index in indices.tolist():
+            evaluate(index, _valid_hint=True)
+        return problem.evaluation_count
+
+    _, elapsed = _timed(evaluate_all)
+    assert elapsed < EVALUATE_INDEX_20K_CEILING_S, (
+        f"20k evaluate_index calls took {elapsed:.2f}s "
+        f"(ceiling {EVALUATE_INDEX_20K_CEILING_S}s); the index-native evaluation "
+        f"fast path has likely regressed to dictionary round-trips")
 
 
 def test_exact_constrained_count_gemm_under_ceiling(benchmarks):
