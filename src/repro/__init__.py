@@ -43,12 +43,17 @@ from repro.core.searchspace import SearchSpace
 from repro.core.problem import TuningProblem
 from repro.core.result import Observation, TuningResult
 from repro.core.registry import (
+    BenchmarkSpec,
     benchmark_suite,
     gpu_catalog,
     tuner_catalog,
     get_benchmark,
     get_gpu,
     get_tuner,
+    register_benchmark,
+    registered_benchmarks,
+    temporary_benchmark,
+    unregister_benchmark,
 )
 
 __all__ = [
@@ -59,10 +64,15 @@ __all__ = [
     "TuningProblem",
     "Observation",
     "TuningResult",
+    "BenchmarkSpec",
     "benchmark_suite",
     "gpu_catalog",
     "tuner_catalog",
     "get_benchmark",
     "get_gpu",
     "get_tuner",
+    "register_benchmark",
+    "registered_benchmarks",
+    "temporary_benchmark",
+    "unregister_benchmark",
 ]

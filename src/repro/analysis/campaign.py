@@ -36,9 +36,10 @@ from repro.exec.planner import (
     PAPER_SAMPLED_BENCHMARKS,
     ShardPlanner,
 )
+from repro.core.registry import benchmark_suite
 from repro.gpus.specs import GPUSpec, all_gpus
 from repro.io.cachefile import load_cache, save_cache
-from repro.kernels import KernelBenchmark, all_benchmarks
+from repro.kernels import KernelBenchmark
 
 __all__ = ["Campaign", "PAPER_SAMPLED_BENCHMARKS", "PAPER_SAMPLE_SIZE"]
 
@@ -49,7 +50,9 @@ class Campaign:
     Parameters
     ----------
     benchmarks:
-        Benchmarks to include (default: the full suite).
+        Benchmarks to include (default: the full open-registry suite -- the seven
+        paper kernels plus every benchmark registered through
+        :func:`repro.core.registry.register_benchmark`, e.g. synthetic scenarios).
     gpus:
         Devices to include (default: the paper's four GPUs).
     sample_size:
@@ -80,7 +83,7 @@ class Campaign:
                  seed: int = 2023, with_noise: bool = True,
                  executor: Executor | None = None,
                  checkpoint: CheckpointStore | str | Path | None = None):
-        self.benchmarks = dict(benchmarks) if benchmarks is not None else all_benchmarks()
+        self.benchmarks = dict(benchmarks) if benchmarks is not None else benchmark_suite()
         self.gpus = dict(gpus) if gpus is not None else all_gpus()
         self.sample_size = int(sample_size)
         self.exhaustive_limit = exhaustive_limit

@@ -48,10 +48,14 @@ class CacheIndexTable:
 
     ``lookup_one`` answers a single integer-index probe without building any
     configuration dictionary; ``lookup`` is the batch form.  Rows overwrite in
-    place when the same index is stored again, mirroring the dict store.
+    place when the same index is stored again, mirroring the dict store.  Batch
+    lookups against hashed (above-dense-ceiling) tables run through a lazily
+    sorted key array and one :func:`numpy.searchsorted` instead of a Python
+    ``dict.get`` per probe; scalar probes keep the O(1) hash.
     """
 
-    __slots__ = ("_cardinality", "_dense", "_row_of", "_values", "_failure", "_size")
+    __slots__ = ("_cardinality", "_dense", "_row_of", "_values", "_failure", "_size",
+                 "_sorted_keys", "_sorted_rows")
 
     def __init__(self, cardinality: int):
         self._cardinality = cardinality
@@ -61,6 +65,10 @@ class CacheIndexTable:
         self._values = np.empty(0, dtype=float)
         self._failure = np.empty(0, dtype=bool)
         self._size = 0
+        # Hashed-path batch index: sorted key/row arrays for searchsorted lookups,
+        # rebuilt lazily after any store that introduced new keys.
+        self._sorted_keys: np.ndarray | None = None
+        self._sorted_rows: np.ndarray | None = None
 
     def __len__(self) -> int:
         return self._size
@@ -104,7 +112,28 @@ class CacheIndexTable:
                 size += 1
             self._values[row] = values[k]
             self._failure[row] = failure[k]
+        if size != self._size:
+            # New keys invalidate the sorted batch index; pure overwrites keep it
+            # (rows are stable, and values/failure are read through the row arrays).
+            self._sorted_keys = self._sorted_rows = None
         self._size = size
+
+    def _sorted_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted ``(keys, rows)`` arrays of the hashed store, built on demand.
+
+        One O(n log n) sort per mutation burst replaces the per-probe Python
+        ``dict.get`` loop of batch lookups with a single :func:`numpy.searchsorted`
+        -- the ROADMAP's "searchsorted batch lookup for hashed cache tables".
+        """
+        if self._sorted_keys is None:
+            keys = np.fromiter(self._row_of.keys(), dtype=np.int64,
+                               count=len(self._row_of))
+            rows = np.fromiter(self._row_of.values(), dtype=np.int64,
+                               count=len(self._row_of))
+            order = np.argsort(keys)
+            self._sorted_keys = keys[order]
+            self._sorted_rows = rows[order]
+        return self._sorted_keys, self._sorted_rows
 
     def lookup_one(self, index: int) -> tuple[float, bool, bool]:
         """``(value, failure, found)`` of one space index.
@@ -133,9 +162,13 @@ class CacheIndexTable:
             rows = np.full(idx.size, -1, dtype=np.int64)
             rows[in_range] = self._row_of[idx[in_range]]
         else:
-            row_of = self._row_of
-            rows = np.fromiter((row_of.get(i, -1) for i in idx.tolist()),
-                               dtype=np.int64, count=idx.size)
+            rows = np.full(idx.size, -1, dtype=np.int64)
+            keys, key_rows = self._sorted_index()
+            if keys.size:
+                pos = np.searchsorted(keys, idx)
+                pos[pos == keys.size] = 0
+                hit = keys[pos] == idx
+                rows[hit] = key_rows[pos[hit]]
         found = rows >= 0
         values = np.full(idx.size, math.inf, dtype=float)
         failure = np.ones(idx.size, dtype=bool)

@@ -76,7 +76,27 @@ def run_repetitions(tuner_factory, problem: TuningProblem, repetitions: int,
     return results
 
 
-def run_matrix(tuners: Mapping[str, Any], problems: Mapping[str, TuningProblem],
+def _resolve_problem_spec(value: Any) -> TuningProblem:
+    """Resolve a ``run_matrix`` problem entry through the open registry.
+
+    Strings of the form ``"benchmark@gpu"`` (e.g. ``"gemm@RTX_3090"``, or a
+    runtime-registered custom scenario ``"syn_coupled_001@rtx-3090"``) resolve via
+    :func:`repro.core.registry.get_benchmark` / :func:`~repro.core.registry.get_gpu`
+    with their usual name normalization; anything else is returned unchanged.
+    """
+    if not isinstance(value, str):
+        return value
+    from repro.core.registry import get_benchmark, get_gpu
+
+    benchmark_name, sep, gpu_name = value.partition("@")
+    if not sep or not benchmark_name or not gpu_name:
+        raise ReproError(
+            f"problem spec {value!r} must look like 'benchmark@gpu' "
+            f"(e.g. 'gemm@RTX_3090')")
+    return get_benchmark(benchmark_name).problem(get_gpu(gpu_name))
+
+
+def run_matrix(tuners: Mapping[str, Any], problems: Mapping[str, Any],
                max_evaluations: int, seed: int = 0,
                executor: Any = None) -> dict[tuple[str, str], TuningResult]:
     """Run every tuner on every problem once.
@@ -86,6 +106,12 @@ def run_matrix(tuners: Mapping[str, Any], problems: Mapping[str, TuningProblem],
 
     Parameters
     ----------
+    problems:
+        Mapping of problem name to :class:`TuningProblem` -- or to a
+        ``"benchmark@gpu"`` string resolved through the open benchmark registry
+        (built-in kernels and runtime-registered scenarios alike), which is how
+        matrix sweeps name hundreds of generated scenarios without constructing
+        problem objects by hand.
     executor:
         Optional task mapper with a ``map(fn, iterable)`` method (e.g. a
         :class:`repro.exec.SerialExecutor`, or a
@@ -101,6 +127,8 @@ def run_matrix(tuners: Mapping[str, Any], problems: Mapping[str, TuningProblem],
         race them across columns -- the matrix falls back to inline execution
         whenever a non-callable tuner is present.
     """
+    problems = {name: _resolve_problem_spec(value)
+                for name, value in problems.items()}
     if executor is not None and any(not callable(f) for f in tuners.values()):
         executor = None
 

@@ -17,9 +17,14 @@ Quick start::
 
 The division of labour mirrors worker-queue runner services: a *planner* that owns
 the deterministic work breakdown, stateless *workers* that evaluate index slices by
-name, a *checkpoint store* for completed work units, and *executors* that merge in
-plan order.  Multi-host sharding only needs a new executor -- the plan, worker and
-checkpoint contracts already hold.
+name or by picklable spec, a *checkpoint store* for completed work units, and
+*executors* that merge in plan order.  Custom benchmarks are first-class: anything
+registered through :func:`repro.core.registry.register_benchmark` (e.g. the
+generated scenarios of :mod:`repro.kernels.synthetic`) plans, runs in parallel and
+resumes exactly like the built-in kernels -- its ``"module:factory"`` spec rides the
+plan manifest, so ``resume``/``status`` need no registration at all.  Multi-host
+sharding only needs a new executor -- the plan, worker and checkpoint contracts
+already hold.
 """
 
 from repro.exec.checkpoint import CheckpointStore

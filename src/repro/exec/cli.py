@@ -29,16 +29,30 @@ Examples
         --checkpoint-dir ckpt/ --output-dir caches/
     python -m repro.exec resume --checkpoint-dir ckpt/ --workers 4 --output-dir caches/
     python -m repro.exec status --checkpoint-dir ckpt/
+
+Custom benchmarks join a campaign by *spec* (no registration, no Python): the spec is
+recorded into the plan manifest, so ``resume``/``status`` round-trip it::
+
+    python -m repro.exec run --gpus RTX_3090 --workers 4 \
+        --benchmark-spec 'scn={"factory": "repro.kernels.synthetic:create_benchmark",
+                               "kwargs": {"name": "scn", "family": "coupled", "seed": 7}}' \
+        --benchmarks scn --checkpoint-dir ckpt/
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.core.errors import ReproError
+from repro.core.registry import (
+    BenchmarkSpec,
+    _normalize_benchmark_name,
+    _require_matching_name,
+)
 from repro.exec.checkpoint import CheckpointStore
 from repro.exec.config import resolve_memoize_threshold
 from repro.exec.executors import (
@@ -72,7 +86,9 @@ def _select(mapping: Mapping[str, Any], names: list[str] | None) -> dict[str, An
 
 def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--benchmarks", default=None, metavar="NAMES",
-                        help="comma-separated benchmark names (default: all seven)")
+                        help="comma-separated benchmark names (default: the seven "
+                             "paper kernels plus every registered or --benchmark-"
+                             "spec'd custom benchmark)")
     parser.add_argument("--gpus", default=None, metavar="NAMES",
                         help="comma-separated GPU names (default: the paper's four)")
     parser.add_argument("--sample-size", type=int, default=PAPER_SAMPLE_SIZE,
@@ -88,6 +104,12 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable the deterministic measurement-noise model")
     parser.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE,
                         help="maximum configurations per shard (default: %(default)s)")
+    parser.add_argument("--benchmark-spec", action="append", default=None,
+                        dest="benchmark_specs", metavar="NAME=SPEC",
+                        help="add a custom benchmark: NAME=MODULE:FACTORY or "
+                             "NAME={\"factory\": ..., \"kwargs\": {...}} (JSON); "
+                             "repeatable.  The spec is recorded in the plan "
+                             "manifest, so resume/status need no registration.")
 
 
 def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
@@ -136,21 +158,72 @@ def _make_executor(args: argparse.Namespace) -> Executor:
     return SerialExecutor(memoize_threshold=threshold)
 
 
-def _planner_from_args(args: argparse.Namespace) -> ShardPlanner:
-    from repro.gpus.specs import all_gpus
-    from repro.kernels import all_benchmarks
+def _parse_benchmark_spec(raw: str) -> tuple[str, BenchmarkSpec]:
+    """Parse one ``--benchmark-spec`` argument into ``(name, spec)``."""
+    from repro.kernels import BENCHMARK_NAMES
 
-    benchmarks = all_benchmarks()
+    name, sep, value = raw.partition("=")
+    name = _normalize_benchmark_name(name)
+    value = value.strip()
+    if not sep or not name or not value:
+        raise ReproError(
+            f"--benchmark-spec expects NAME=MODULE:FACTORY or NAME=JSON, got {raw!r}")
+    if name in BENCHMARK_NAMES:
+        # Same guard register_benchmark enforces: a spec must never silently
+        # replace a paper kernel (its caches would carry the kernel's name).
+        raise ReproError(
+            f"--benchmark-spec {name}: cannot shadow the built-in {name!r} kernel")
+    if value.startswith("{"):
+        try:
+            data = json.loads(value)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"--benchmark-spec {name}: invalid JSON spec ({exc})") from None
+        if not isinstance(data, Mapping) or "factory" not in data:
+            raise ReproError(
+                f"--benchmark-spec {name}: JSON spec must be an object with a "
+                f"'factory' key")
+        return name, BenchmarkSpec.from_dict(data)
+    return name, BenchmarkSpec(value)
+
+
+def _planner_from_args(args: argparse.Namespace) -> ShardPlanner:
+    from repro.core.registry import benchmark_spec, registered_benchmarks
+    from repro.gpus.specs import all_gpus
+    from repro.kernels import BENCHMARK_NAMES
+
+    specs: dict[str, BenchmarkSpec] = {}
+    for raw in args.benchmark_specs or ():
+        name, spec = _parse_benchmark_spec(raw)
+        specs[name] = spec
+    # Known names in stable order: paper kernels, registered customs, spec'd
+    # additions.  Only the *selected* benchmarks are constructed, so planning one
+    # scenario stays cheap no matter how many are registered.  Selection tokens
+    # get the same normalization the registry applies to spec names, so
+    # `--benchmark-spec demo-scn=... --benchmarks demo-scn` agrees with itself.
+    known = list(BENCHMARK_NAMES)
+    known += [n for n in registered_benchmarks() if n not in known]
+    known += [n for n in specs if n not in known]
+    raw_selection = args.benchmarks
+    if raw_selection is not None:
+        raw_selection = ",".join(_normalize_benchmark_name(part)
+                                 for part in raw_selection.split(",") if part.strip())
+    selected = _names(raw_selection, known, "benchmarks")
+    if selected is None:
+        selected = known
+    benchmarks = {name: (_require_matching_name(name, specs[name].build())
+                         if name in specs else benchmark_spec(name).build())
+                  for name in selected}
     gpus = all_gpus()
     return ShardPlanner(
-        benchmarks=_select(benchmarks, _names(args.benchmarks, list(benchmarks),
-                                              "benchmarks")),
+        benchmarks=benchmarks,
         gpus=_select(gpus, _names(args.gpus, list(gpus), "GPUs")),
         sample_size=args.sample_size,
         exhaustive_limit=args.exhaustive_limit,
         seed=args.seed,
         with_noise=not args.no_noise,
         shard_size=args.shard_size,
+        specs=specs,
     )
 
 

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.cache import EvaluationCache
 from repro.core.errors import ReproError
+from repro.core.registry import BenchmarkSpec
 from repro.exec.checkpoint import CheckpointStore, benchmark_fingerprint
 from repro.exec.config import apply_memoize_threshold, resolve_memoize_threshold
 from repro.exec.planner import CampaignPlan, CampaignUnit, Shard, ShardPlanner, unit_indices
@@ -115,8 +116,26 @@ class Executor(abc.ABC):
             :class:`~repro.analysis.campaign.Campaign` stays lazy per pair.
         """
         if benchmarks is None:
-            from repro.kernels import all_benchmarks
-            benchmarks = all_benchmarks()
+            # The open-registry default, resolved per plan unit.  A unit's own spec
+            # is authoritative -- a same-named registration in this process may have
+            # diverged from what the plan was built against, and workers rebuild
+            # from the unit spec, so the parent must too -- and it is what lets
+            # `resume` rebuild a custom scenario from the manifest alone, with
+            # nothing registered.  Spec-free names resolve through the registry
+            # (built-in kernels and registered customs); only the benchmarks the
+            # plan actually references are constructed.
+            from repro.core.registry import benchmark_spec
+            benchmarks = {}
+            for unit in plan.units:
+                if unit.benchmark in benchmarks:
+                    continue
+                if unit.spec:
+                    benchmarks[unit.benchmark] = BenchmarkSpec.from_dict(unit.spec).build()
+                else:
+                    spec = benchmark_spec(unit.benchmark)
+                    if spec is not None:
+                        benchmarks[unit.benchmark] = spec.build()
+                    # Unknown names fall through to the `missing` check below.
         if gpus is None:
             from repro.gpus.specs import all_gpus
             gpus = all_gpus()
@@ -280,8 +299,10 @@ class ParallelExecutor(Executor):
 
     Notes
     -----
-    Workers rebuild benchmarks *by name* from the registry, so every benchmark in the
-    plan must be registry-resolvable; custom benchmark objects require the
+    Workers rebuild benchmarks *by name* from the registry or *by spec* (a
+    ``"module:factory"`` description carried by the plan's units or supplied by
+    :func:`repro.core.registry.register_benchmark`), so every benchmark in the plan
+    must be one or the other; anonymous live benchmark objects require the
     :class:`SerialExecutor` (or registration).
     """
 
@@ -296,41 +317,71 @@ class ParallelExecutor(Executor):
                                    if workload_overrides else None)
         self.mp_context = mp_context
 
-    def _check_registry_resolvable(self, tasks: list[_ShardTask]) -> None:
-        """Workers must be able to rebuild *these exact* benchmarks by name.
+    def _check_registry_resolvable(self, tasks: list[_ShardTask]
+                                   ) -> dict[str, dict[str, Any]] | None:
+        """Workers must be able to rebuild *these exact* benchmarks by name or spec.
 
-        A name collision is not enough: a caller's benchmark object carrying a
-        custom workload (or a diverged space) under a registry name would be
-        silently replaced by the default-workload rebuild in every worker, so the
-        parent's objects are compared against what :func:`init_worker` will
-        construct and any mismatch is refused loudly.
+        Built-in kernel names resolve through :func:`repro.kernels.all_benchmarks`;
+        any other name needs a picklable spec, taken from the plan's units first
+        and the open registry second.  A name (or spec) collision is not enough:
+        a caller's benchmark object carrying a custom workload or a diverged space
+        would be silently replaced by the rebuild in every worker, so the parent's
+        objects are compared against what :func:`init_worker` will construct and
+        any mismatch is refused loudly.  Returns the spec dictionaries to ship to
+        the worker initializer (None when every benchmark is built-in).
         """
+        from repro.core.registry import registered_benchmarks
         from repro.kernels import BENCHMARK_NAMES, all_benchmarks
 
         by_name = {t.shard.benchmark: t.benchmark for t in tasks}
-        unknown = set(by_name) - set(BENCHMARK_NAMES)
+        specs: dict[str, dict[str, Any]] = {}
+        for task in tasks:
+            if task.unit.spec and task.shard.benchmark not in specs:
+                specs[task.shard.benchmark] = dict(task.unit.spec)
+        registered = None
+        unknown = []
+        for name in by_name:
+            if name in BENCHMARK_NAMES or name in specs:
+                continue
+            if registered is None:
+                registered = registered_benchmarks()
+            if name in registered:
+                specs[name] = registered[name].to_dict()
+            else:
+                unknown.append(name)
         if unknown:
             raise ReproError(
-                f"ParallelExecutor workers rebuild benchmarks from the registry and "
-                f"cannot resolve {sorted(unknown)}; use SerialExecutor for custom "
-                f"benchmark objects")
-        rebuilt = all_benchmarks(**(self.workload_overrides or {}))
+                f"ParallelExecutor workers rebuild benchmarks from the registry (or "
+                f"from picklable specs) and cannot resolve {sorted(unknown)}; "
+                f"register them with repro.core.registry.register_benchmark (or "
+                f"pass specs= to ShardPlanner), or use SerialExecutor for "
+                f"anonymous benchmark objects")
+        builtin = [name for name in by_name if name not in specs]
+        rebuilt: dict[str, Any] = (all_benchmarks(**(self.workload_overrides or {}))
+                                   if builtin else {})
+        for name, spec in specs.items():
+            rebuilt[name] = BenchmarkSpec.from_dict(spec).build()
         for name, benchmark in by_name.items():
-            if (dict(benchmark.workload.sizes) != dict(rebuilt[name].workload.sizes)
+            if (benchmark.name != rebuilt[name].name
+                    or dict(benchmark.workload.sizes) != dict(rebuilt[name].workload.sizes)
                     or benchmark.space.to_dict() != rebuilt[name].space.to_dict()):
+                hint = ("pass matching workload_overrides= to ParallelExecutor"
+                        if name not in specs else
+                        "re-register it so the spec matches the object")
                 raise ReproError(
                     f"benchmark {name!r} differs from what workers would rebuild "
-                    f"(custom workload or space under a registry name); pass "
-                    f"matching workload_overrides= to ParallelExecutor, or use "
-                    f"SerialExecutor")
+                    f"(custom workload or space under a registry name); {hint}, "
+                    f"or use SerialExecutor")
+        return specs or None
 
     def _run_shards(self, tasks, on_complete):
-        self._check_registry_resolvable(tasks)
+        benchmark_specs = self._check_registry_resolvable(tasks)
         with ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=self.mp_context,
                 initializer=init_worker,
-                initargs=(self.memoize_threshold, self.workload_overrides)) as pool:
+                initargs=(self.memoize_threshold, self.workload_overrides,
+                          benchmark_specs)) as pool:
             pending = {}
             for task in tasks:
                 future = pool.submit(evaluate_shard, task.shard.benchmark,

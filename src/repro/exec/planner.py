@@ -30,10 +30,12 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.core.errors import ReproError
+from repro.core.registry import BenchmarkSpec
 from repro.core.searchspace import SearchSpace
 
 __all__ = [
     "PAPER_SAMPLED_BENCHMARKS", "PAPER_SAMPLE_SIZE", "DEFAULT_SHARD_SIZE",
+    "CUSTOM_EXHAUSTIVE_LIMIT",
     "CampaignUnit", "Shard", "CampaignPlan", "ShardPlanner", "unit_indices",
 ]
 
@@ -46,6 +48,14 @@ PAPER_SAMPLE_SIZE: int = 10_000
 #: Default shard length: small enough that a 10k-sample unit splits across a worker
 #: pool, large enough that per-shard dispatch overhead stays negligible.
 DEFAULT_SHARD_SIZE: int = 2_500
+
+#: Cardinality ceiling above which *custom* (non-paper) benchmarks are sampled when
+#: no explicit ``exhaustive_limit`` is given.  The paper kernels follow the paper's
+#: design exactly; a registered scenario with a 1e8-point space must not silently
+#: schedule a full enumeration (feasible-set sweep at plan time, every feasible
+#: config at run time).  Aligned with the feasible-memoization default, which is
+#: also the largest space the suite treats as comfortably enumerable.
+CUSTOM_EXHAUSTIVE_LIMIT: int = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -66,6 +76,11 @@ class CampaignUnit:
     n_configs:
         Exact number of configurations this unit evaluates (feasible count for
         exhaustive units, ``sample_size`` otherwise).
+    spec:
+        Optional benchmark spec dictionary (:meth:`~repro.core.registry.BenchmarkSpec.to_dict`
+        form) describing how workers -- and ``resume`` runs with no registration --
+        rebuild this benchmark.  None for the built-in kernels, which workers
+        rebuild from :func:`repro.kernels.all_benchmarks` as before.
     """
 
     benchmark: str
@@ -74,6 +89,7 @@ class CampaignUnit:
     seed: int
     with_noise: bool
     n_configs: int
+    spec: dict[str, Any] | None = None
 
     @property
     def key(self) -> tuple[str, str]:
@@ -88,13 +104,16 @@ class CampaignUnit:
     def to_dict(self) -> dict[str, Any]:
         return {"benchmark": self.benchmark, "gpu": self.gpu,
                 "sample_size": self.sample_size, "seed": self.seed,
-                "with_noise": self.with_noise, "n_configs": self.n_configs}
+                "with_noise": self.with_noise, "n_configs": self.n_configs,
+                "spec": self.spec}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignUnit":
+        spec = data.get("spec")
         return cls(benchmark=data["benchmark"], gpu=data["gpu"],
                    sample_size=data["sample_size"], seed=int(data["seed"]),
-                   with_noise=bool(data["with_noise"]), n_configs=int(data["n_configs"]))
+                   with_noise=bool(data["with_noise"]), n_configs=int(data["n_configs"]),
+                   spec=dict(spec) if spec else None)
 
 
 @dataclass(frozen=True)
@@ -228,6 +247,13 @@ class ShardPlanner:
         Whether measurements include the deterministic noise model.
     shard_size:
         Maximum configurations per shard.
+    specs:
+        Optional explicit benchmark specs (any :meth:`BenchmarkSpec.parse` form)
+        recorded into the plan's units so that workers, checkpoint manifests and
+        registration-free ``resume`` runs can rebuild the benchmarks.  Names
+        without an explicit spec fall back to the open registry
+        (:func:`repro.core.registry.benchmark_spec`); built-in kernels stay
+        spec-free (workers rebuild them from the kernel registry as before).
     """
 
     def __init__(self, benchmarks: Mapping[str, Any] | None = None,
@@ -236,10 +262,11 @@ class ShardPlanner:
                  exhaustive_limit: int | None = None,
                  seed: int = 2023, with_noise: bool = True,
                  shard_size: int = DEFAULT_SHARD_SIZE,
-                 sampled_benchmarks: frozenset[str] = PAPER_SAMPLED_BENCHMARKS):
+                 sampled_benchmarks: frozenset[str] = PAPER_SAMPLED_BENCHMARKS,
+                 specs: Mapping[str, Any] | None = None):
         if benchmarks is None:
-            from repro.kernels import all_benchmarks
-            benchmarks = all_benchmarks()
+            from repro.core.registry import benchmark_suite
+            benchmarks = benchmark_suite()
         if gpus is None:
             from repro.gpus.specs import all_gpus
             gpus = all_gpus()
@@ -253,21 +280,50 @@ class ShardPlanner:
         self.with_noise = with_noise
         self.shard_size = int(shard_size)
         self.sampled_benchmarks = frozenset(sampled_benchmarks)
+        self.specs = {name: BenchmarkSpec.parse(spec)
+                      for name, spec in (specs or {}).items()}
         self._exhaustive_counts: dict[str, int] = {}
 
     # -------------------------------------------------------------------- design
 
     def is_sampled(self, benchmark_name: str) -> bool:
-        """True when the campaign for this benchmark uses random sampling."""
+        """True when the campaign for this benchmark uses random sampling.
+
+        Paper kernels follow the paper design exactly (the ``sampled_benchmarks``
+        list, or an explicit ``exhaustive_limit``).  Custom benchmarks above
+        :data:`CUSTOM_EXHAUSTIVE_LIMIT` are sampled by default -- a registered
+        scenario with a huge space must opt *in* to exhaustive enumeration via
+        ``exhaustive_limit``, not hang plan time by accident.
+        """
         if benchmark_name in self.sampled_benchmarks:
             return True
         if self.exhaustive_limit is not None:
             return self.benchmarks[benchmark_name].space.cardinality > self.exhaustive_limit
+        from repro.kernels import BENCHMARK_NAMES
+
+        if benchmark_name not in BENCHMARK_NAMES:
+            return (self.benchmarks[benchmark_name].space.cardinality
+                    > CUSTOM_EXHAUSTIVE_LIMIT)
         return False
 
     def unit_seed(self, gpu_name: str) -> int:
         """Seed of one GPU's sampled streams (``seed + index``, sorted GPU names)."""
         return self.seed + sorted(self.gpus).index(gpu_name)
+
+    def spec_for(self, benchmark_name: str) -> dict[str, Any] | None:
+        """Spec dictionary recorded into this benchmark's units, or None.
+
+        Explicit ``specs=`` entries win; otherwise custom registrations in the
+        open registry supply their spec, and built-in kernels return None (the
+        worker rebuild path that predates specs).
+        """
+        spec = self.specs.get(benchmark_name)
+        if spec is not None:
+            return spec.to_dict()
+        from repro.core.registry import registered_benchmarks
+
+        registered = registered_benchmarks().get(benchmark_name)
+        return registered.to_dict() if registered is not None else None
 
     def unit_for(self, benchmark_name: str, gpu_name: str) -> CampaignUnit:
         """The campaign unit of one (benchmark, GPU) pair."""
@@ -293,7 +349,8 @@ class ShardPlanner:
         return CampaignUnit(benchmark=benchmark_name, gpu=gpu_name,
                             sample_size=self.sample_size if sampled else None,
                             seed=self.unit_seed(gpu_name),
-                            with_noise=self.with_noise, n_configs=n_configs)
+                            with_noise=self.with_noise, n_configs=n_configs,
+                            spec=self.spec_for(benchmark_name))
 
     def units(self) -> list[CampaignUnit]:
         """Every (benchmark, GPU) unit, benchmarks in mapping order, GPUs sorted."""

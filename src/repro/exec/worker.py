@@ -5,13 +5,18 @@ Shard workers never receive live benchmark objects: compiled constraint code obj
 protocol to one process-start method.  Instead a worker receives *names* and rebuilds
 the registries once per process in :func:`init_worker`; a shard task is then just
 ``(benchmark_name, gpu_name, index_array, with_noise)`` and its result a list of
-``(value, valid, error)`` rows.
+``(value, valid, error)`` rows.  Custom benchmarks follow the same discipline one
+level up: they arrive as picklable *specs* (``"module:factory"`` plus JSON kwargs,
+see :class:`repro.core.registry.BenchmarkSpec`) and the worker builds them next to
+the built-in suite -- which is how runtime-registered and synthetic scenarios ride
+the parallel machinery.
 
 Determinism: a rebuilt benchmark is value-identical to the parent's (the registries
-are pure constructors), configurations are decoded from mixed-radix indices by the
-same columnar codec, and the noise model hashes with blake2b (process-stable, unlike
-``hash()``).  A worker therefore returns exactly the rows the parent would have
-computed serially -- the byte-identity contract of :mod:`repro.exec.executors`.
+and spec factories are pure constructors), configurations are decoded from
+mixed-radix indices by the same columnar codec, and the noise model hashes with
+blake2b (process-stable, unlike ``hash()``).  A worker therefore returns exactly the
+rows the parent would have computed serially -- the byte-identity contract of
+:mod:`repro.exec.executors`.
 """
 
 from __future__ import annotations
@@ -30,7 +35,8 @@ _GPUS: dict[str, Any] | None = None
 
 
 def init_worker(memoize_threshold: int | None = None,
-                workload_overrides: Mapping[str, Mapping[str, Any]] | None = None) -> None:
+                workload_overrides: Mapping[str, Mapping[str, Any]] | None = None,
+                benchmark_specs: Mapping[str, Any] | None = None) -> None:
     """Build the per-process benchmark/GPU registries.
 
     Parameters
@@ -42,12 +48,20 @@ def init_worker(memoize_threshold: int | None = None,
     workload_overrides:
         Per-benchmark factory keyword overrides (e.g. shrunken test workloads),
         forwarded to :func:`repro.kernels.all_benchmarks`.
+    benchmark_specs:
+        Picklable specs of the plan's non-built-in benchmarks, keyed by name (any
+        :meth:`~repro.core.registry.BenchmarkSpec.parse` form).  Each is built
+        fresh in this process and added beside the built-in suite -- the worker
+        half of the open-registry contract.
     """
     global _BENCHMARKS, _GPUS
+    from repro.core.registry import BenchmarkSpec
     from repro.gpus.specs import all_gpus
     from repro.kernels import all_benchmarks
 
     _BENCHMARKS = all_benchmarks(**{k: dict(v) for k, v in (workload_overrides or {}).items()})
+    for name, spec in (benchmark_specs or {}).items():
+        _BENCHMARKS[name] = BenchmarkSpec.parse(spec).build()
     _GPUS = all_gpus()
     apply_memoize_threshold((b.space for b in _BENCHMARKS.values()), memoize_threshold)
 

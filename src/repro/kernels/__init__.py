@@ -11,7 +11,11 @@ Each benchmark module defines:
   autotuning invariant that every configuration computes the same answer.
 
 Use :func:`all_benchmarks` to obtain the full suite keyed by canonical name, or import
-the individual ``create_benchmark`` factories.
+the individual ``create_benchmark`` factories.  Beyond the seven paper kernels,
+:mod:`repro.kernels.synthetic` generates parametric scenario families (separable /
+coupled value surfaces, seeded spaces, deterministic failure models) that plug into
+the open registry of :mod:`repro.core.registry` as picklable
+``"repro.kernels.synthetic:create_benchmark"`` specs.
 """
 
 from __future__ import annotations

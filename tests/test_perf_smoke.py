@@ -29,6 +29,7 @@ COUNT_GEMM_CEILING_S = 10.0
 SHARDED_CAMPAIGN_10K_CEILING_S = 20.0
 TUNER_CAMPAIGN_CEILING_S = 3.0
 EVALUATE_INDEX_20K_CEILING_S = 2.0
+HASHED_BATCH_LOOKUP_CEILING_S = 3.0
 
 
 def _timed(fn):
@@ -130,6 +131,34 @@ def test_evaluate_index_throughput_under_ceiling(benchmarks, gpu_3090):
         f"20k evaluate_index calls took {elapsed:.2f}s "
         f"(ceiling {EVALUATE_INDEX_20K_CEILING_S}s); the index-native evaluation "
         f"fast path has likely regressed to dictionary round-trips")
+
+
+def test_hashed_batch_lookup_under_ceiling(benchmarks, gpu_3090):
+    # 5M batched probes against a hashed (above-dense-ceiling) index table: the
+    # searchsorted batch path answers this in well under a second, while the old
+    # per-probe dict.get loop (or a regression back to it) takes several seconds.
+    cache = benchmarks["dedispersion"].build_cache(gpu_3090, sample_size=5_000,
+                                                   seed=1)
+    table = cache.index_table()
+    assert not table._dense  # dedispersion cardinality exceeds the dense ceiling
+    space = cache.space
+    stored = space.indices_of_configs([dict(o.config) for o in cache])
+    rng = np.random.default_rng(3)
+    probes = np.concatenate([
+        np.tile(stored, 500),
+        rng.integers(0, space.cardinality, size=2_500_000),
+    ])
+
+    def batch_lookup():
+        values, failure, found = table.lookup(probes)
+        return int(found.sum())
+
+    hits, elapsed = _timed(batch_lookup)
+    assert hits >= stored.size * 500
+    assert elapsed < HASHED_BATCH_LOOKUP_CEILING_S, (
+        f"5M hashed batch lookups took {elapsed:.2f}s "
+        f"(ceiling {HASHED_BATCH_LOOKUP_CEILING_S}s); the searchsorted batch path "
+        f"has likely regressed to per-probe dictionary lookups")
 
 
 def test_exact_constrained_count_gemm_under_ceiling(benchmarks):
