@@ -35,7 +35,13 @@ from repro.graph.centrality import proportion_of_centrality
 from repro.graph.ffg import build_ffg
 from repro.graph.pagerank import pagerank
 from repro.kernels import all_benchmarks
-from repro.tuners import GreedyILS, LocalSearch
+from repro.tuners import (
+    DifferentialEvolution,
+    GeneticAlgorithm,
+    GreedyILS,
+    LocalSearch,
+    ParticleSwarm,
+)
 from repro.tuners.base import Tuner
 
 SAMPLE_N = 10_000
@@ -44,6 +50,9 @@ CAMPAIGN_WORKERS = 4
 TUNER_CAMPAIGN_RUNS = 50       # per optimizer; LocalSearch + GreedyILS = 100 runs
 TUNER_CAMPAIGN_BUDGET = 100
 TUNER_CAMPAIGN_CACHE_POINTS = 2_000
+POPULATION_CAMPAIGN_RUNS = 15  # per optimizer; GA + DE + PSO = 45 runs
+POPULATION_CAMPAIGN_BUDGET = 150
+POPULATION_CAMPAIGN_CACHE_POINTS = 2_000
 
 
 # ----------------------------------------------------------- scalar reference paths
@@ -203,6 +212,245 @@ class SeedGreedyILS(_SeedDictTuner):
             best = self.best_so_far()
             base = dict(best.config) if best is not None else incumbent
             incumbent = self._perturb(problem, base, rng)
+
+
+# -------------------------------------------- pre-batching population inner loops
+#
+# Faithful re-creations of the per-candidate population loops the
+# generation-batched runtime replaced: one `evaluate_index` (one budget charge, one
+# result record) per candidate, per-gene scalar crossover draws, nearest-value
+# decoding through a per-parameter Python scan that re-materialises each
+# parameter's numeric grid (and re-derives its numericness) on every candidate,
+# eval-dispatched per-candidate feasibility, and repair draws through size-1
+# membership blocks.  Same RNG streams, same trajectories -- only the loop
+# structure and the per-candidate costs differ.
+
+
+def is_numeric_seed(p) -> bool:
+    """The seed's uncached numericness test (one isinstance scan per call)."""
+    return all(isinstance(v, (int, float, np.integer, np.floating))
+               for v in p.values)
+
+
+def numeric_values_seed(p) -> np.ndarray:
+    """The seed's uncached per-call numeric grid of one parameter."""
+    if is_numeric_seed(p):
+        return np.asarray(p.values, dtype=float)
+    return np.arange(len(p.values), dtype=float)
+
+
+def decode_index_seed(space, vector) -> int:
+    """The seed's nearest-member decode: one Python argmin scan per parameter."""
+    digits = np.empty(space.dimensions, dtype=np.int64)
+    for j, (p, x) in enumerate(zip(space.parameters, vector)):
+        digits[j] = int(np.argmin(np.abs(numeric_values_seed(p) - float(x))))
+    return int(digits @ np.asarray(space.place_values))
+
+
+def encode_indices_seed(space, indices) -> np.ndarray:
+    """The seed's index encoder: per-parameter numericness re-derived per call."""
+    digits = space.indices_to_digits(indices)
+    out = np.empty((digits.shape[0], space.dimensions), dtype=float)
+    for j, p in enumerate(space.parameters):
+        if is_numeric_seed(p):
+            out[:, j] = p.values_array()[digits[:, j]].astype(float)
+        else:
+            out[:, j] = digits[:, j].astype(float)
+    return out
+
+
+def index_is_feasible_seed(space, index) -> bool:
+    """The seed's per-candidate feasibility: compiled-conjunction eval dispatch
+    (no feasible-set membership shortcut)."""
+    if not len(space.constraints):
+        return True
+    rows = space._feasibility_rows()
+    if rows is None:
+        return space.constraints.is_satisfied(space.config_at(index))
+    return space.constraints.is_satisfied_fast(
+        {name: values[(index // place) % radix]
+         for name, values, place, radix in rows})
+
+
+def sample_one_index_seed(space, rng) -> int:
+    """The seed's repair draw: size-1 rejection blocks, membership by a
+    fromnumeric searchsorted per attempt (the memoized-space path of the
+    pre-batching sampler).  Random stream identical to the scalar loop."""
+    feasible = space.feasible_indices()
+    if feasible is None:
+        return space.sample_one_index(rng=rng, valid_only=True)
+    while True:
+        draws = rng.integers(0, space.cardinality, size=1)
+        pos = np.searchsorted(feasible, draws)
+        pos[pos == feasible.size] = 0
+        if bool((feasible[pos] == draws)[0]):
+            return int(draws[0])
+
+
+class SeedGeneticAlgorithm(Tuner):
+    """The pre-batching steady-state GA: per-gene draws, per-child evaluation."""
+
+    name = "genetic"
+
+    def __init__(self, seed=None, population_size=20, tournament_size=3,
+                 mutation_rate=0.1, elitism=2):
+        super().__init__(seed=seed)
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+        self.mutation_rate = mutation_rate
+        self.elitism = elitism
+
+    def _tournament(self, population, rng):
+        picks = rng.integers(0, len(population), size=self.tournament_size)
+        contenders = [population[int(i)] for i in picks]
+        return min(contenders, key=lambda ind: ind[2])
+
+    def _run(self, problem, budget, rng):
+        space = problem.space
+        population = []  # (digits, index, value) triples
+        initial = space.sample_indices(self.population_size, rng=rng,
+                                       valid_only=True, unique=True)
+        for index in initial.tolist():
+            obs = self.evaluate_index(index, valid_hint=True)
+            if obs is None:
+                return
+            if not obs.is_failure:
+                population.append((space.digits_of_index(index), index, obs.value))
+        if not population:
+            return
+        while not self.budget_exhausted:
+            parent_a = self._tournament(population, rng)
+            parent_b = self._tournament(population, rng)
+            child = np.empty_like(parent_a[0])
+            for j in range(child.size):
+                child[j] = parent_a[0][j] if rng.random() < 0.5 else parent_b[0][j]
+            for j, parameter in enumerate(space.parameters):
+                if rng.random() < self.mutation_rate:
+                    child[j] = parameter.sample_index(rng)
+            index = int(space.digits_to_indices(child[None, :])[0])
+            if not index_is_feasible_seed(space, index):
+                index = sample_one_index_seed(space, rng)
+                child = space.digits_of_index(index)
+            obs = self.evaluate_index(index, valid_hint=True)
+            if obs is None:
+                return
+            if obs.is_failure:
+                continue
+            population.sort(key=lambda ind: ind[2])
+            protected = population[: self.elitism]
+            rest = population[self.elitism:]
+            if rest and obs.value < rest[-1][2]:
+                rest[-1] = (child, index, obs.value)
+            elif len(population) < self.population_size:
+                rest.append((child, index, obs.value))
+            population = protected + rest
+
+
+class SeedDifferentialEvolution(Tuner):
+    """The pre-batching DE/rand/1/bin: per-trial evaluation and decode scan."""
+
+    name = "diff_evo"
+
+    def __init__(self, seed=None, population_size=20, differential_weight=0.7,
+                 crossover_probability=0.8):
+        super().__init__(seed=seed)
+        self.population_size = population_size
+        self.differential_weight = differential_weight
+        self.crossover_probability = crossover_probability
+
+    def _run(self, problem, budget, rng):
+        space = problem.space
+        indices = space.sample_indices(self.population_size, rng=rng,
+                                       valid_only=True, unique=True)
+        population = encode_indices_seed(space, indices)
+        fitness = np.full(indices.size, np.inf)
+        for i, index in enumerate(indices.tolist()):
+            obs = self.evaluate_index(index, valid_hint=True)
+            if obs is None:
+                return
+            fitness[i] = obs.value if not obs.is_failure else np.inf
+        n, dims = indices.size, space.dimensions
+        while not self.budget_exhausted:
+            for target in range(n):
+                if self.budget_exhausted:
+                    return
+                choices = [i for i in range(n) if i != target]
+                a, b, c = rng.choice(choices, size=3, replace=False)
+                mutant = population[a] + self.differential_weight * (
+                    population[b] - population[c])
+                cross = rng.random(dims) < self.crossover_probability
+                cross[int(rng.integers(0, dims))] = True
+                trial_vector = np.where(cross, mutant, population[target])
+                trial_index = decode_index_seed(space, trial_vector)
+                if not index_is_feasible_seed(space, trial_index):
+                    trial_index = sample_one_index_seed(space, rng)
+                obs = self.evaluate_index(trial_index, valid_hint=True)
+                if obs is None:
+                    return
+                value = obs.value if not obs.is_failure else np.inf
+                if value <= fitness[target]:
+                    population[target] = encode_indices_seed(space, [trial_index])[0]
+                    fitness[target] = value
+
+
+class SeedParticleSwarm(Tuner):
+    """The pre-batching global-best PSO: two draws and one evaluation per particle."""
+
+    name = "pso"
+
+    def __init__(self, seed=None, swarm_size=16, inertia=0.7, cognitive=1.5,
+                 social=1.5):
+        super().__init__(seed=seed)
+        self.swarm_size = swarm_size
+        self.inertia = inertia
+        self.cognitive = cognitive
+        self.social = social
+
+    def _run(self, problem, budget, rng):
+        space = problem.space
+        indices = space.sample_indices(self.swarm_size, rng=rng, valid_only=True,
+                                       unique=True)
+        positions = encode_indices_seed(space, indices)
+        ranges = np.array([float(np.ptp(numeric_values_seed(p))) or 1.0
+                           for p in space.parameters])
+        velocities = rng.uniform(-0.1, 0.1, size=positions.shape) * ranges
+        personal_best = positions.copy()
+        personal_best_value = np.full(indices.size, np.inf)
+        global_best = positions[0].copy()
+        global_best_value = np.inf
+        for i, index in enumerate(indices.tolist()):
+            obs = self.evaluate_index(index, valid_hint=True)
+            if obs is None:
+                return
+            value = obs.value if not obs.is_failure else np.inf
+            personal_best_value[i] = value
+            if value < global_best_value:
+                global_best_value = value
+                global_best = positions[i].copy()
+        while not self.budget_exhausted:
+            for i in range(indices.size):
+                if self.budget_exhausted:
+                    return
+                r_cog = rng.random(positions.shape[1])
+                r_soc = rng.random(positions.shape[1])
+                velocities[i] = (self.inertia * velocities[i]
+                                 + self.cognitive * r_cog * (personal_best[i] - positions[i])
+                                 + self.social * r_soc * (global_best - positions[i]))
+                positions[i] = positions[i] + velocities[i]
+                candidate = decode_index_seed(space, positions[i])
+                if not index_is_feasible_seed(space, candidate):
+                    candidate = sample_one_index_seed(space, rng)
+                    positions[i] = encode_indices_seed(space, [candidate])[0]
+                obs = self.evaluate_index(candidate, valid_hint=True)
+                if obs is None:
+                    return
+                value = obs.value if not obs.is_failure else np.inf
+                if value < personal_best_value[i]:
+                    personal_best_value[i] = value
+                    personal_best[i] = positions[i].copy()
+                if value < global_best_value:
+                    global_best_value = value
+                    global_best = positions[i].copy()
 
 
 def timed(fn, *args, **kwargs):
@@ -368,6 +616,61 @@ def main() -> None:
     print(f"tuner_campaign hotspot: dict {t_seed:7.3f}s  "
           f"index-native {t_index:7.3f}s  {t_seed / t_index:6.1f}x  "
           f"identical={identical}")
+
+    # ------------------------------------------- generation-batched population tuners
+    # GA + DE + PSO replayed against a sampled hotspot cache: the pre-batching
+    # per-candidate loops (one evaluate_index/budget charge/result record per
+    # candidate, per-gene crossover draws, per-parameter decode scans, bisection
+    # membership per repair attempt) vs the generation-batched runtime (peeked
+    # candidates, one bulk-accounted run per generation, sized operator draws,
+    # grid decode, bitmap membership).  The feasible set is pre-built outside the
+    # timed region (`force=True`; hotspot sits above the memoize threshold) so
+    # both paths draw repairs from the same memo and the entry isolates the
+    # inner loops.  Same seeds, same random streams -- the merged trajectories
+    # must serialize identically.
+    population_cache = benchmarks["hotspot"].build_cache(
+        RTX_3090, sample_size=POPULATION_CAMPAIGN_CACHE_POINTS, seed=1)
+    population_cache.index_table()
+    population_cache.space.feasible_indices(force=True)
+
+    def population_campaign(factories, runs=POPULATION_CAMPAIGN_RUNS):
+        results = []
+        for factory in factories:
+            for seed in range(runs):
+                problem = population_cache.to_problem(strict=False)
+                results.append(factory().tune(
+                    problem, Budget(max_evaluations=POPULATION_CAMPAIGN_BUDGET),
+                    seed=seed))
+        return results
+
+    batched_factories = [GeneticAlgorithm, DifferentialEvolution, ParticleSwarm]
+    seed_factories = [SeedGeneticAlgorithm, SeedDifferentialEvolution,
+                      SeedParticleSwarm]
+    population_campaign(batched_factories, runs=2)   # warm both paths
+    population_campaign(seed_factories, runs=2)
+    batched_results, t_batched = timed_best(population_campaign, batched_factories)
+    seed_results, t_scalar = timed_best(population_campaign, seed_factories)
+    identical = (json.dumps([r.to_dict() for r in batched_results])
+                 == json.dumps([r.to_dict() for r in seed_results]))
+    n_runs = 3 * POPULATION_CAMPAIGN_RUNS
+    report["population_campaign_45runs_hotspot"] = {
+        "description": f"{n_runs}-run GA+DE+PSO campaign "
+                       f"({POPULATION_CAMPAIGN_BUDGET} evaluations/run) replayed "
+                       f"on a {POPULATION_CAMPAIGN_CACHE_POINTS}-point hotspot "
+                       f"cache with a pre-built feasible memo: per-candidate "
+                       f"scalar loops vs generation-batched runtime",
+        "scalar_s": round(t_scalar, 4),
+        "vectorized_s": round(t_batched, 4),
+        "speedup": round(t_scalar / t_batched, 1),
+        "identical": identical,
+        "evaluations": sum(len(r) for r in batched_results),
+    }
+    print(f"population_campaign hotspot: scalar {t_scalar:7.3f}s  "
+          f"generation-batched {t_batched:7.3f}s  {t_scalar / t_batched:6.1f}x  "
+          f"identical={identical}")
+    # The forced memo was a campaign-local knob; drop it so the sharded-campaign
+    # entry below times the hotspot space in its default (streaming) state.
+    population_cache.space.release_feasible_memo()
 
     # ------------------------------------------- sharded 10k-sample campaign
     # The paper's sampled campaign: hotspot/dedispersion/expdist, 10 000 unique

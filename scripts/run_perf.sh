@@ -8,9 +8,16 @@
 #                                  ceilings; fast enough for CI)
 #
 # Any further arguments are forwarded to the underlying command.
+#
+# The script expects the package to be installed (`pip install -e .`); when it
+# is not -- a fresh checkout driven without an environment -- it falls back to
+# the src-layout import path so the harness still runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if ! python -c "import repro" >/dev/null 2>&1; then
+    export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+fi
 
 if [[ "${1:-}" == "--smoke" ]]; then
     shift

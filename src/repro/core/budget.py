@@ -75,6 +75,27 @@ class Budget:
             return math.inf
         return max(0, self.max_evaluations - self.evaluations_used)
 
+    def affordable_evaluations(self) -> int | float | None:
+        """How many evaluations can certainly be charged right now, or None.
+
+        This is the capability probe of the bulk-accounting protocol: a caller
+        holding ``n`` candidates may evaluate ``min(n, affordable_evaluations())``
+        of them and settle with one :meth:`charge_bulk`, no matter what the
+        individual evaluations turn out to cost.  That prefix is only computable
+        when affordability does not depend on per-evaluation outcomes, so the
+        base class answers ``None`` as soon as a unique-configuration or
+        simulated-seconds limit is configured (those narrow with every charge),
+        and :attr:`remaining_evaluations` (``math.inf`` when unlimited)
+        otherwise.
+
+        Subclasses that narrow :attr:`exhausted` (e.g. the portfolio tuner's
+        per-member slice) MUST override this to reflect their own cap -- the
+        tuner runtime trusts the answer instead of inspecting budget types.
+        """
+        if self.max_unique_configs is not None or self.max_simulated_seconds is not None:
+            return None
+        return self.remaining_evaluations
+
     # -------------------------------------------------------------------- accounting
 
     def charge(self, simulated_seconds: float = 0.0, new_config: bool = False) -> None:
@@ -106,15 +127,24 @@ class Budget:
         list to reproduce the sequential floating-point accumulation order bit for
         bit (a scalar total is accepted where that precision is irrelevant).  The
         caller must have pre-computed that all ``count`` evaluations are affordable
-        (only possible for the base class with a pure evaluation-count limit, which
-        is exactly when the index-native batch paths use it).  Raises like
-        :meth:`charge` when the budget is already exhausted.
+        (:meth:`affordable_evaluations` is that probe, and answers only under a
+        pure evaluation-count limit, which is exactly when the index-native batch
+        paths use it).  Raises like :meth:`charge` when the budget is already
+        exhausted, and also when ``count`` overshoots a finite
+        :attr:`max_evaluations` -- a miscomputed prefix must fail loudly instead
+        of silently recording more evaluations than the run was allowed.
         """
         if count <= 0:
             return
         if self.exhausted:
             raise BudgetExhaustedError(
                 f"budget exhausted after {self.evaluations_used} evaluations")
+        remaining = self.remaining_evaluations
+        if count > remaining:
+            raise BudgetExhaustedError(
+                f"bulk charge of {count} evaluations overshoots the remaining "
+                f"allowance of {remaining} (max_evaluations={self.max_evaluations}, "
+                f"used={self.evaluations_used})")
         self.evaluations_used += count
         self.unique_used += new_configs
         overhead = self.compile_overhead_seconds

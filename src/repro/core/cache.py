@@ -439,10 +439,23 @@ class EvaluationCache:
                       else np.zeros(indices.size, dtype=bool))
             return values, failure | (values <= 0), raises
 
+        def _peek_one(index: int) -> tuple[float, bool, bool]:
+            # Scalar twin of ``_peek_indices`` (same normalisation, one hash
+            # probe): what generation-batched population tuners call per
+            # candidate while simulating a generation ahead of its bulk
+            # evaluation.
+            value, failure, found = self.index_table().lookup_one(index)
+            if not found:
+                return math.inf, True, strict
+            if failure:
+                return math.inf, True, False
+            return value, value <= 0, False
+
         return TuningProblem(name=self.benchmark, space=self.space, evaluate_fn=_evaluate,
                              gpu=self.gpu, memoize=memoize,
                              evaluate_index_fn=_evaluate_index,
-                             peek_index_fn=_peek_indices)
+                             peek_index_fn=_peek_indices,
+                             peek_one_fn=_peek_one)
 
     # ------------------------------------------------------------------ serialization
 

@@ -94,9 +94,17 @@ class Parameter:
 
     @property
     def is_numeric(self) -> bool:
-        """True if every allowed value is an int/float (bool counts as numeric)."""
-        return all(isinstance(v, (int, float, np.integer, np.floating))
-                   for v in self.values)
+        """True if every allowed value is an int/float (bool counts as numeric).
+
+        Computed once and cached (the value tuple is frozen): the encoded-space
+        codecs consult this per parameter on per-candidate hot paths.
+        """
+        cached = self.__dict__.get("_is_numeric")
+        if cached is None:
+            cached = all(isinstance(v, (int, float, np.integer, np.floating))
+                         for v in self.values)
+            object.__setattr__(self, "_is_numeric", cached)
+        return cached
 
     def __contains__(self, value: Any) -> bool:
         return value in self._index
@@ -225,11 +233,20 @@ class Parameter:
     def numeric_values(self) -> np.ndarray:
         """Return the allowed values as a float array (ordinal positions for strings).
 
-        Used by the ML substrate to encode configurations as feature vectors.
+        Used by the ML substrate to encode configurations as feature vectors and
+        by the encoded-space codecs of :class:`~repro.core.searchspace.SearchSpace`.
+        Built once and cached read-only (the class is frozen), so per-candidate
+        decode/encode in the population tuners never re-materialises it.
         """
-        if self.is_numeric:
-            return np.asarray(self.values, dtype=float)
-        return np.arange(len(self.values), dtype=float)
+        cached = self.__dict__.get("_numeric_values")
+        if cached is None:
+            if self.is_numeric:
+                cached = np.asarray(self.values, dtype=float)
+            else:
+                cached = np.arange(len(self.values), dtype=float)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_numeric_values", cached)
+        return cached
 
     def encode(self, value: Any) -> float:
         """Encode one value as a float feature (the value itself, or its ordinal)."""

@@ -114,6 +114,14 @@ class TuningProblem:
         may supply it.  It is what lets tuners run whole neighbourhoods through
         one array probe and then *evaluate* exactly the prefix the sequential
         loop would have.
+    peek_one_fn:
+        Optional scalar twin of ``peek_index_fn``: ``index -> (value, failure,
+        raises)`` for a single index, element-wise identical to the batch peek.
+        Generation-batched population tuners peek one candidate at a time (each
+        candidate's construction depends on the previous one's value), so a
+        dictionary-probe scalar peek sidesteps the per-candidate array overhead
+        of the batch form.  When omitted, :meth:`peek_index` wraps the batch
+        peek with a one-element array.
     """
 
     def __init__(self, name: str, space: SearchSpace,
@@ -121,7 +129,8 @@ class TuningProblem:
                  gpu: str = "", direction: ObjectiveDirection = ObjectiveDirection.MINIMIZE,
                  objective_unit: str = "ms", memoize: bool = True,
                  evaluate_index_fn: Callable[[int], float] | None = None,
-                 peek_index_fn: Callable[[Any], tuple[Any, Any]] | None = None):
+                 peek_index_fn: Callable[[Any], tuple[Any, Any]] | None = None,
+                 peek_one_fn: Callable[[int], tuple[float, bool, bool]] | None = None):
         self.name = name
         self.space = space
         self.gpu = gpu
@@ -131,6 +140,7 @@ class TuningProblem:
         self._evaluate_fn = evaluate_fn
         self._evaluate_index_fn = evaluate_index_fn
         self._peek_index_fn = peek_index_fn
+        self._peek_one_fn = peek_one_fn
         self._cache: dict[tuple, Observation] = {}
         self._icache: dict[int, Observation] = {}
         self._evaluation_count = 0
@@ -295,6 +305,28 @@ class TuningProblem:
         if self._peek_index_fn is None:
             return None
         return self._peek_index_fn(np.asarray(indices, dtype=np.int64))
+
+    @property
+    def peekable(self) -> bool:
+        """True when the objective supports side-effect-free previews."""
+        return self._peek_index_fn is not None or self._peek_one_fn is not None
+
+    def peek_index(self, index: int) -> tuple[float, bool, bool] | None:
+        """Scalar form of :meth:`peek_indices`: ``(value, failure, raises)`` of
+        one index, or None when the objective cannot be peeked.
+
+        Element-wise identical to the batch peek; the dedicated scalar callable
+        (when supplied) answers through a plain dictionary/array probe, which is
+        what makes peeking every candidate of a sequentially-constructed
+        population generation cheap.
+        """
+        if self._peek_one_fn is not None:
+            return self._peek_one_fn(index)
+        if self._peek_index_fn is None:
+            return None
+        values, failure, raises = self._peek_index_fn(
+            np.asarray([index], dtype=np.int64))
+        return float(values[0]), bool(failure[0]), bool(raises[0])
 
     def evaluate_indices(self, indices: np.ndarray | Sequence[int],
                          valid_hint: bool | None = None,

@@ -371,6 +371,27 @@ class SearchSpace:
         """Drop the memoized feasible-index array (e.g. after a forced computation
         on a space larger than :attr:`memoize_threshold`)."""
         self._feasible = None
+        self.__dict__.pop("_feas_bits", None)
+        self.__dict__.pop("_feas_bits_src", None)
+
+    def _feasible_bitmap(self) -> bytes:
+        """Packed feasibility bits of the memoized feasible set (1 = feasible).
+
+        ``bits[index >> 3] >> (index & 7) & 1`` answers scalar membership in
+        pure Python integer arithmetic -- an order of magnitude cheaper than a
+        bisection per probe, which is what the population tuners' repair
+        rejection loops hammer.  One bit per raw index (cardinality / 8 bytes;
+        a few hundred KB at the memoize threshold), built on first demand and
+        invalidated with the memo it mirrors.
+        """
+        bits = self.__dict__.get("_feas_bits")
+        if bits is None or self.__dict__.get("_feas_bits_src") is not self._feasible:
+            flags = np.zeros(self._cardinality, dtype=bool)
+            flags[self._feasible] = True
+            bits = np.packbits(flags, bitorder="little").tobytes()
+            self._feas_bits = bits
+            self._feas_bits_src = self._feasible
+        return bits
 
     def _digits_for_range(self, start: int, stop: int) -> np.ndarray:
         """Digit matrix of the contiguous index range ``[start, stop)``.
@@ -522,6 +543,17 @@ class SearchSpace:
 
     # ----------------------------------------------------------------------- sampling
 
+    def _scalar_draw_exhausted(self, max_attempts: int) -> EmptySearchSpaceError:
+        """The failure of a single-draw rejection loop whose every attempt
+        missed (a success returns immediately, so the observed feasible
+        fraction is exactly zero) -- shared by the bitmap and constraint-eval
+        restart paths so their messages cannot drift apart."""
+        return EmptySearchSpaceError(
+            f"could not draw 1 valid configurations "
+            f"from space of cardinality {self._cardinality} "
+            f"after {max_attempts} attempts (found 0); observed feasible "
+            f"fraction 0.000% over {max_attempts} draws")
+
     def sample_indices(self, n: int, rng: np.random.Generator | int | None = None,
                        valid_only: bool = True, unique: bool = True,
                        max_attempts_factor: int = 200) -> np.ndarray:
@@ -544,6 +576,21 @@ class SearchSpace:
         if n == 0:
             return np.empty(0, dtype=np.int64)
         feasible = self._feasible if valid_only else None
+        if n == 1 and not unique and valid_only and feasible is not None \
+                and feasible.size:
+            # The memoized twin of the scalar restart draw below: one scalar
+            # ``integers`` call per attempt (stream-identical to a size-1 block)
+            # and one packed-bitmap probe instead of a constraint evaluation.
+            # The population tuners' repair draws live here.
+            integers = rng.integers
+            cardinality = self._cardinality
+            bits = self._feasible_bitmap()
+            max_attempts = max(max_attempts_factor, 1000)
+            for _ in range(max_attempts):
+                index = int(integers(0, cardinality))
+                if bits[index >> 3] >> (index & 7) & 1:
+                    return np.asarray([index], dtype=np.int64)
+            raise self._scalar_draw_exhausted(max_attempts)
         if (n == 1 and not unique and valid_only and feasible is None
                 and len(self._constraints)):
             # The tuner runtime's restart draw: a tight scalar rejection loop.  One
@@ -568,13 +615,7 @@ class SearchSpace:
                 if satisfied(namespace_at(index)):
                     return np.asarray([index], dtype=np.int64)
             self.feasible_indices()  # memoize (small spaces) for the next attempt
-            # Every draw failed (a success returns immediately), so the observed
-            # feasible fraction is exactly zero.
-            raise EmptySearchSpaceError(
-                f"could not draw 1 valid configurations "
-                f"from space of cardinality {self._cardinality} "
-                f"after {max_attempts} attempts (found 0); observed feasible "
-                f"fraction 0.000% over {max_attempts} draws")
+            raise self._scalar_draw_exhausted(max_attempts)
         if feasible is not None and unique and n > feasible.size:
             raise EmptySearchSpaceError(
                 f"cannot draw {n} unique valid configurations from a space with only "
@@ -748,12 +789,20 @@ class SearchSpace:
 
     # -------------------------------------------------- index-native neighbourhoods
 
-    def _digits_of_index(self, index: int) -> np.ndarray:
-        """Digit vector of one index (the scalar row of :meth:`indices_to_digits`)."""
+    def digits_of_index(self, index: int) -> np.ndarray:
+        """Digit vector of one index (the scalar row of :meth:`indices_to_digits`).
+
+        The scalar workhorse of the index-native operators: population tuners
+        mutate candidates as digit vectors, and perturbation/crossover re-derive
+        them from the incumbent's integer index through this one arithmetic row.
+        """
         if not (0 <= index < self._cardinality):
             raise InvalidConfigurationError(
                 f"index {index} out of range [0, {self._cardinality})")
         return (index // self._places) % self._radices
+
+    # Pre-publication spelling; the tuners now use the public name.
+    _digits_of_index = digits_of_index
 
     def _filter_neighbor_candidates(self, base_digits: np.ndarray,
                                     candidates: np.ndarray, params: np.ndarray,
@@ -873,6 +922,12 @@ class SearchSpace:
                 f"index {index} out of range [0, {self._cardinality})")
         if not len(self._constraints):
             return True
+        if self._feasible is not None:
+            # The memoized feasible set answers membership from its packed
+            # bitmap -- the verdict is identical by construction (the memo
+            # holds exactly the constraint-satisfying indices).
+            index = int(index)
+            return bool(self._feasible_bitmap()[index >> 3] >> (index & 7) & 1)
         rows = self._feasibility_rows()
         if rows is None:
             return self._constraints.is_satisfied(self.config_at(index))
@@ -970,25 +1025,109 @@ class SearchSpace:
                 out[:, j] = digits[:, j].astype(float)
         return out
 
+    def encode_index(self, index: int) -> np.ndarray:
+        """Scalar form of :meth:`encode_indices`: the feature row of one index.
+
+        One digit-arithmetic row plus one gather from the encoded-value grid --
+        element-wise identical to ``encode_indices([index])[0]`` without the
+        batch scaffolding, which is what the population tuners' per-candidate
+        selections (DE replacement, PSO repair) pay.
+        """
+        if not (0 <= index < self._cardinality):
+            raise InvalidConfigurationError(
+                f"index {index} out of range [0, {self._cardinality})")
+        grid, _pad, _buffer = self._decode_state()
+        rows = self.__dict__.get("_dim_range")
+        if rows is None:
+            rows = self._dim_range = np.arange(self.dimensions)
+        return grid[rows, (index // self._places) % self._radices]
+
+    def _encoded_grid(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """The ``(dimensions, max_radix)`` encoded-value grid, built once.
+
+        Row ``j`` holds parameter ``j``'s numeric values (ordinals for
+        non-numeric parameters) -- exactly what :meth:`encode` produces per
+        coordinate -- padded to the widest radix.  The companion boolean mask
+        flags the padded cells (None when every radix is equal), so decode can
+        force their distance to ``inf`` and a padded cell can never win the
+        nearest-value argmin, whatever the query vector contains.
+        """
+        cached = self.__dict__.get("_enc_grid")
+        if cached is None:
+            radices = self._radices.tolist()
+            width = max(radices)
+            grid = np.zeros((self.dimensions, width), dtype=float)
+            for j, p in enumerate(self._parameters):
+                grid[j, : radices[j]] = p.numeric_values()
+            pad = np.arange(width) >= self._radices[:, None]
+            grid.setflags(write=False)
+            cached = self._enc_grid = (grid, pad if pad.any() else None)
+        return cached
+
     def decode_digits(self, vector: Sequence[float]) -> np.ndarray:
         """Digit vector of the member configuration nearest to a feature vector.
 
         The per-parameter nearest-value rule (first minimum of ``|grid - x|``) is
         exactly the one :meth:`decode` applies, so
         ``config_at(digits_to_indices(decode_digits(v)[None, :])[0])`` equals
-        ``decode(v)``.
+        ``decode(v)``.  All parameters are resolved in one vectorized pass over
+        the padded encoded-value grid (padded cells are forced to infinite
+        distance), element-wise identical to the per-parameter scan.
         """
         if len(vector) != self.dimensions:
             raise InvalidConfigurationError(
                 f"vector has {len(vector)} entries, expected {self.dimensions}")
-        digits = np.empty(self.dimensions, dtype=np.int64)
-        for j, (p, x) in enumerate(zip(self._parameters, vector)):
-            digits[j] = int(np.argmin(np.abs(p.numeric_values() - float(x))))
-        return digits
+        return self._decode_digits_fast(vector)
+
+    def _decode_state(self) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+        """``(grid, pad, buffer)`` of the scalar decoder, one dictionary probe.
+
+        The buffer is the reusable distance workspace: the scalar decoder sits
+        inside the population tuners' per-candidate loop, where the two
+        temporaries of the naive spelling dominate the arithmetic.  (Like the
+        neighbourhood memo, this makes spaces non-thread-safe; the execution
+        subsystem parallelises across processes.)
+        """
+        cached = self.__dict__.get("_dec_state")
+        if cached is None:
+            grid, pad = self._encoded_grid()
+            cached = self._dec_state = (grid, pad, np.empty(grid.shape))
+        return cached
+
+    def _decode_digits_fast(self, vector: Sequence[float]) -> np.ndarray:
+        grid, pad, buffer = self._decode_state()
+        np.subtract(grid, np.asarray(vector, dtype=float)[:, None], out=buffer)
+        np.abs(buffer, out=buffer)
+        if pad is not None:
+            buffer[pad] = np.inf
+        return buffer.argmin(axis=1)
+
+    def decode_digits_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Batch form of :meth:`decode_digits`: ``(n, dimensions)`` feature rows
+        to an ``(n, dimensions)`` digit matrix in one broadcast pass, row-wise
+        identical to the scalar decoder (same first-minimum tie rule)."""
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dimensions:
+            raise InvalidConfigurationError(
+                f"expected an (n, {self.dimensions}) matrix, got shape "
+                f"{vectors.shape}")
+        grid, pad = self._encoded_grid()
+        distance = np.abs(grid[None, :, :] - vectors[:, :, None])
+        if pad is not None:
+            distance[:, pad] = np.inf
+        return np.argmin(distance, axis=2)
 
     def decode_index(self, vector: Sequence[float]) -> int:
         """Mixed-radix index of the member configuration nearest to ``vector``."""
-        return int(self.decode_digits(vector) @ self._places)
+        if len(vector) != self.dimensions:
+            raise InvalidConfigurationError(
+                f"vector has {len(vector)} entries, expected {self.dimensions}")
+        return int(self._decode_digits_fast(vector) @ self._places)
+
+    def decode_indices(self, vectors: np.ndarray) -> np.ndarray:
+        """Batch form of :meth:`decode_index`: nearest-member indices of many
+        feature vectors (one broadcast decode, one mixed-radix assembly)."""
+        return self.decode_digits_batch(vectors) @ self._places
 
     def decode(self, vector: Sequence[float]) -> Config:
         """Map a feature vector back to the nearest member configuration."""

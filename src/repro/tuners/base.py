@@ -40,10 +40,10 @@ import numpy as np
 from repro.core.budget import Budget
 from repro.core.errors import BudgetExhaustedError, ReproError
 from repro.core.problem import TuningProblem
-from repro.core.result import Observation, TuningResult
+from repro.core.result import LazyConfig, Observation, TuningResult
 from repro.core.searchspace import config_key
 
-__all__ = ["Tuner"]
+__all__ = ["GenerationRun", "Tuner"]
 
 
 class Tuner(abc.ABC):
@@ -178,23 +178,24 @@ class Tuner(abc.ABC):
                            ) -> list[Observation]:
         """Evaluate a run of pre-validated indices until the run or budget ends.
 
-        The index twin of :meth:`evaluate_all`: under a pure evaluation-count
-        budget the affordable prefix is known up front, so the whole slice goes
+        The index twin of :meth:`evaluate_all`: when the budget can answer
+        :meth:`Budget.affordable_evaluations` (a pure evaluation-count limit --
+        including any compliant subclass, like the portfolio tuner's per-member
+        slice) the affordable prefix is known up front, so the whole slice goes
         through :meth:`TuningProblem.evaluate_indices` and accounting happens in
         one pass (one :meth:`Budget.charge_bulk`, one result extend) -- per
         observation the semantics are identical to calling :meth:`evaluate_index`
         in a loop, which is also the literal fallback for every other budget shape.
         A result shorter than ``indices`` means the budget ran out.
         """
-        if (self._problem is not None and self._result is not None
-                and self._budget is not None and type(self._budget) is Budget
-                and self._budget.max_unique_configs is None
-                and self._budget.max_simulated_seconds is None):
-            remaining = self._budget.remaining_evaluations
+        allowance = (self._budget.affordable_evaluations()
+                     if (self._problem is not None and self._result is not None
+                         and self._budget is not None) else None)
+        if allowance is not None:
             index_list = (indices.tolist() if isinstance(indices, np.ndarray)
                           else [int(i) for i in indices])
-            allowed = (len(index_list) if remaining == math.inf
-                       else min(len(index_list), int(remaining)))
+            allowed = (len(index_list) if allowance == math.inf
+                       else min(len(index_list), int(allowance)))
             batch = index_list[:allowed]
             if not batch:
                 return []
@@ -231,28 +232,141 @@ class Tuner(abc.ABC):
             observations.append(obs)
         return observations
 
+    def generation_run(self) -> "GenerationRun":
+        """A :class:`GenerationRun` bound to this run's bookkeeping.
+
+        The population tuners' batching primitive: candidates are submitted one
+        at a time (peeked, never evaluated, on peekable problems) and settled
+        per generation with one bulk-accounted :meth:`evaluate_index_run`.
+        """
+        return GenerationRun(self)
+
+    def evaluate_generation(
+            self, candidates: "list[tuple[int, float, bool, bool]]") -> bool:
+        """Record one generation of peek-driven candidates in a single bulk run.
+
+        Each candidate is an ``(index, value, failure, raises)`` tuple holding
+        exactly what :meth:`TuningProblem.peek_indices` would have returned for
+        its index (the tuner collected them one candidate at a time while
+        simulating its generation).  The affordable prefix settles in one
+        list-native pass -- memo probe, observation construction, duplicate/best
+        tracking per candidate, then one :meth:`Budget.charge_bulk` and one
+        result extend; per observation the bytes are identical to
+        :meth:`evaluate_index` in a loop (the literal fallback whenever the
+        budget cannot precompute its prefix).  Returns False when the budget
+        truncated the generation or ran dry on its last candidate, i.e. the run
+        must stop.
+        """
+        if not candidates:
+            return not self.budget_exhausted
+        problem, result, budget = self._problem, self._result, self._budget
+        if problem is None or result is None or budget is None:
+            raise RuntimeError("evaluate_generation() called outside of tune()")
+        allowance = budget.affordable_evaluations()
+        if allowance is None:
+            # Simulated-seconds / unique-config budgets: affordability depends
+            # on each evaluation's outcome, so settle sequentially (identical
+            # observations; the peeked values were only used for steering).
+            for index, _value, _failed, _raises in candidates:
+                if self.evaluate_index(index, valid_hint=True) is None:
+                    return False
+            return not self.budget_exhausted
+        allowed = (len(candidates) if allowance == math.inf
+                   else min(len(candidates), int(allowance)))
+        if allowed == 0:
+            return False
+        # Merged settle loop: the peeked twin of TuningProblem.evaluate_indices
+        # plus evaluate_index_run's accounting, over plain Python tuples (the
+        # candidates arrived one at a time -- no arrays exist to vectorize over).
+        icache = problem._icache
+        icache_get = icache.get
+        dict_memo = problem._cache
+        memoize = problem.memoize
+        space, gpu, name = problem.space, problem.gpu, problem.name
+        worst = problem.direction.worst_value
+        fast = Observation.fast
+        lazy = LazyConfig
+        isfinite = math.isfinite
+        count = problem._evaluation_count
+        seen = self._seen
+        seen_add = seen.add
+        track = self._track
+        best_value = track[1]
+        observations: list[Observation] = []
+        record = observations.append
+        simulated: list[float] = []
+        seconds = simulated.append
+        new_configs = 0
+        for index, peeked, failed, raises in (
+                candidates if allowed == len(candidates)
+                else candidates[:allowed]):
+            obs = None
+            if memoize:
+                obs = icache_get(index)
+                if obs is None and dict_memo:
+                    obs = dict_memo.get(config_key(space.config_at(index)))
+                    if obs is not None:
+                        icache[index] = obs
+            if obs is None:
+                if not failed:
+                    obs = fast(lazy(space, index), peeked, True, "", count,
+                               gpu, name)
+                    count += 1
+                    if memoize:
+                        icache[index] = obs
+                elif raises:
+                    # Rows whose objective raises take the scalar path so error
+                    # strings (cache misses, resource limits) stay byte-identical.
+                    problem._evaluation_count = count
+                    obs = problem.evaluate_index(index, _valid_hint=True)
+                    count = problem._evaluation_count
+                else:
+                    # Non-raising failures carry the error string the scalar
+                    # path derives from the returned value alone.
+                    obs = fast(
+                        lazy(space, index), worst, False,
+                        f"objective returned non-positive/non-finite value "
+                        f"{peeked!r}", count, gpu, name)
+                    count += 1
+                    if memoize:
+                        icache[index] = obs
+            record(obs)
+            if index not in seen:
+                seen_add(index)
+                new_configs += 1
+            value = obs.value
+            seconds(value / 1e3 if isfinite(value) else 0.0)
+            if obs.valid and value < best_value:
+                track[0] = index
+                track[1] = best_value = value
+        problem._evaluation_count = count
+        budget.charge_bulk(allowed, simulated_seconds=simulated,
+                           new_configs=new_configs)
+        result.extend(observations)
+        return allowed == len(candidates) and not budget.exhausted
+
     def evaluate_all(self, configs: Iterable[Mapping[str, Any]]) -> list[Observation]:
         """Evaluate configurations until the list or the budget is exhausted.
 
-        Fast path: for a materialised batch under a purely evaluation-count budget,
-        the number of affordable evaluations is known up front, so the whole slice
-        goes through :meth:`TuningProblem.evaluate_many` -- one vectorized validity
-        mask instead of one scalar constraint pass per configuration, the same batch
+        Fast path: for a materialised batch under a budget that can answer
+        :meth:`Budget.affordable_evaluations`, the number of affordable
+        evaluations is known up front, so the whole slice goes through
+        :meth:`TuningProblem.evaluate_many` -- one vectorized validity mask
+        instead of one scalar constraint pass per configuration, the same batch
         discipline the shard workers of :mod:`repro.exec` use.  Budget charging,
         duplicate accounting and recording stay per-observation, so the results are
         observation-for-observation identical to the scalar loop.
         """
-        if (isinstance(configs, (list, tuple))
-                and self._problem is not None and self._result is not None
-                and self._budget is not None and type(self._budget) is Budget
-                and self._budget.max_unique_configs is None
-                and self._budget.max_simulated_seconds is None):
-            # The exact-type check matters: Budget subclasses (e.g. the portfolio
-            # tuner's slice) may override `exhausted`, and the fast path's
-            # precomputed allowance is only valid for the base-class semantics.
-            remaining = self._budget.remaining_evaluations
-            allowed = (len(configs) if remaining == math.inf
-                       else min(len(configs), int(remaining)))
+        allowance = (self._budget.affordable_evaluations()
+                     if (isinstance(configs, (list, tuple))
+                         and self._problem is not None and self._result is not None
+                         and self._budget is not None) else None)
+        if allowance is not None:
+            # The protocol matters: Budget subclasses that narrow `exhausted`
+            # (e.g. the portfolio tuner's slice) answer with their own cap, so
+            # the precomputed allowance honours every layer of limits.
+            allowed = (len(configs) if allowance == math.inf
+                       else min(len(configs), int(allowance)))
             batch = list(configs[:allowed])
             observations = self._problem.evaluate_many(batch)
             for config, obs in zip(batch, observations):
@@ -353,3 +467,98 @@ class Tuner(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(seed={self.seed})"
+
+
+class GenerationRun:
+    """Generation-batched evaluation for population tuners.
+
+    The population tuners (genetic / differential evolution / particle swarm)
+    construct candidates sequentially -- every operator draw and every selection
+    decision may depend on the previous candidate's objective value -- so their
+    inner loops cannot be reordered without changing trajectories.  What *can*
+    move is the settlement: on peekable problems (cache replays) the objective
+    value of each candidate is revealed side-effect-free the moment it is
+    constructed, the tuner drives its population update off the peeked value, and
+    the whole generation is then evaluated in one bulk-accounted
+    :meth:`Tuner.evaluate_index_run` (one :meth:`Budget.charge_bulk`, one result
+    extend) instead of one :meth:`Tuner.evaluate_index` per candidate.  Per
+    observation the bytes are identical to the sequential loop.
+
+    On problems that cannot peek, :meth:`submit` simply evaluates the candidate
+    on the spot and :meth:`flush` is a budget check -- the tuner code is one loop
+    either way.
+
+    Usage, once per generation::
+
+        gen = self.generation_run()
+        for _ in range(generation_size):
+            ... draw operators, build candidate ...
+            fate = gen.submit(candidate_index)
+            if fate is None:
+                return                     # budget exhausted (sequential mode)
+            value, failed = fate
+            ... update population from (value, failed) ...
+        if not gen.flush():
+            return                         # generation truncated by the budget
+    """
+
+    __slots__ = ("_tuner", "_peek", "_worst", "_pending")
+
+    def __init__(self, tuner: Tuner):
+        self._tuner = tuner
+        problem = tuner._problem
+        if problem is None:
+            self._peek = None
+        else:
+            # Bind the scalar peek directly when the problem carries one (the
+            # per-candidate hot path); fall back to the batch-peek wrapper.
+            self._peek = (problem._peek_one_fn
+                          or (problem.peek_index if problem.peekable else None))
+        self._worst = (problem.direction.worst_value if problem is not None
+                       else math.inf)
+        #: Queued ``(index, value, failure, raises)`` candidates of the current
+        #: generation (peeked mode only).
+        self._pending: list[tuple[int, float, bool, bool]] = []
+
+    @property
+    def peeked(self) -> bool:
+        """True when candidates are being peeked and settled per generation."""
+        return self._peek is not None
+
+    def submit(self, index: int) -> tuple[float, bool] | None:
+        """Queue one pre-validated candidate; returns its ``(value, failed)`` fate.
+
+        The value is only meaningful when ``failed`` is False (failed
+        evaluations carry the direction's worst value, exactly like the
+        observations they become).  Returns None when the budget is exhausted --
+        only possible in sequential mode, where submitting *is* evaluating;
+        peeked generations detect exhaustion at :meth:`flush`.
+        """
+        peek = self._peek
+        if peek is None:
+            obs = self._tuner.evaluate_index(index, valid_hint=True)
+            if obs is None:
+                return None
+            return obs.value, obs.is_failure
+        value, failed, raises = peek(index)
+        # The queue keeps the raw peeked value (the settle loop derives failure
+        # error strings from it); the returned fate carries what the eventual
+        # observation's ``value`` will be.
+        self._pending.append((index, value, failed, raises))
+        return (self._worst if failed else value), failed
+
+    def flush(self) -> bool:
+        """Settle the queued generation; False when the run must stop.
+
+        In peeked mode this is the one bulk evaluation of the generation; in
+        sequential mode everything is already settled and only the budget is
+        checked.  A False return means the budget ran out (possibly
+        mid-generation -- exactly the prefix the sequential loop would have
+        evaluated was recorded).
+        """
+        tuner = self._tuner
+        if self._peek is None or not self._pending:
+            return not tuner.budget_exhausted
+        pending = self._pending
+        self._pending = []
+        return tuner.evaluate_generation(pending)

@@ -8,9 +8,15 @@ parameter (the standard discrete-DE treatment) and repaired against the constrai
 
 The population state is array-native end to end: encoded position vectors come
 straight from the value columns (:meth:`~repro.core.searchspace.SearchSpace.encode_indices`),
-trial vectors snap to digit vectors (:meth:`~repro.core.searchspace.SearchSpace.decode_index`),
-repair is one constraint-mask check, and evaluation goes through the integer fast
-path -- no configuration dictionary exists in the loop.
+trial vectors snap to digit vectors through the padded encoded-value grid
+(:meth:`~repro.core.searchspace.SearchSpace.decode_index`, one broadcast argmin
+instead of a per-parameter scan), repair is one constraint check, and evaluation is
+generation-batched through :class:`~repro.tuners.base.GenerationRun`: on peekable
+problems each trial's value is revealed as it is constructed (selection must see it
+before the next trial exists -- replaced members can donate to later trials in the
+same sweep) and the whole generation settles in one bulk-accounted run.  The
+generator stream is consumed in exactly the sequential order, so trajectories are
+byte-identical to the per-candidate loop.
 """
 
 from __future__ import annotations
@@ -57,31 +63,38 @@ class DifferentialEvolution(Tuner):
                                        valid_only=True, unique=True)
         population = space.encode_indices(indices)
         fitness = np.full(indices.size, np.inf)
-        for i, index in enumerate(indices.tolist()):
-            obs = self.evaluate_index(index, valid_hint=True)
-            if obs is None:
-                return
+        observations = self.evaluate_index_run(indices)
+        for i, obs in enumerate(observations):
             fitness[i] = obs.value if not obs.is_failure else np.inf
+        if len(observations) < indices.size:
+            return
 
         n = indices.size
         dims = space.dimensions
+        weight = self.differential_weight
+        crossover_probability = self.crossover_probability
+        # The donor pool of each target is fixed for the whole run ([0, n) minus
+        # the target itself), so the arrays feed ``rng.choice`` pre-built.
+        donor_pool = [np.asarray([i for i in range(n) if i != target])
+                      for target in range(n)]
+        gen = self.generation_run()
         while not self.budget_exhausted:
             for target in range(n):
-                if self.budget_exhausted:
-                    return
-                choices = [i for i in range(n) if i != target]
-                a, b, c = rng.choice(choices, size=3, replace=False)
-                mutant = population[a] + self.differential_weight * (population[b] - population[c])
-                cross = rng.random(dims) < self.crossover_probability
+                a, b, c = rng.choice(donor_pool[target], size=3, replace=False)
+                mutant = population[a] + weight * (population[b] - population[c])
+                cross = rng.random(dims) < crossover_probability
                 cross[int(rng.integers(0, dims))] = True  # at least one mutant gene
                 trial_vector = np.where(cross, mutant, population[target])
                 trial_index = space.decode_index(trial_vector)
                 if not space.index_is_feasible(trial_index):
                     trial_index = space.sample_one_index(rng=rng, valid_only=True)
-                obs = self.evaluate_index(trial_index, valid_hint=True)
-                if obs is None:
+                fate = gen.submit(trial_index)
+                if fate is None:
                     return
-                value = obs.value if not obs.is_failure else np.inf
+                value, failed = fate
+                value = np.inf if failed else value
                 if value <= fitness[target]:
-                    population[target] = space.encode_indices([trial_index])[0]
+                    population[target] = space.encode_index(trial_index)
                     fitness[target] = value
+            if not gen.flush():
+                return

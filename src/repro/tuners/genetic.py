@@ -6,14 +6,19 @@ in the GPU-autotuning literature the paper builds on (Schoonhoven et al.), which
 this the primary "global optimizer" counterpart to the local searchers in the ablation
 benchmarks.
 
-The population is index-native: each individual is a mixed-radix digit vector plus its
-fitness, crossover and mutation are digit surgery, repair is one constraint-mask
-check, and evaluation goes through the integer fast path.  The genetic operators
-consume the random stream in exactly the order the dictionary-based seed
-implementation did (genes in parameter order), so trajectories are byte-identical.
+The population is index-native and generation-batched: each individual is a
+mixed-radix digit vector plus its fitness, crossover is one sized draw of gene gates
+(digit-matrix surgery via :func:`numpy.where`), repair is one constraint check, and
+evaluation settles through :class:`~repro.tuners.base.GenerationRun` -- on peekable
+problems a whole generation's worth of children is revealed candidate by candidate
+and then bulk-accounted in one :meth:`~repro.core.budget.Budget.charge_bulk`.  The
+genetic operators consume the random stream in exactly the order the dictionary-based
+seed implementation did (genes in parameter order), so trajectories are byte-identical.
 """
 
 from __future__ import annotations
+
+import operator
 
 import numpy as np
 
@@ -22,6 +27,8 @@ from repro.core.problem import TuningProblem
 from repro.tuners.base import Tuner
 
 __all__ = ["GeneticAlgorithm"]
+
+_BY_VALUE = operator.attrgetter("value")
 
 
 class _Individual:
@@ -71,72 +78,111 @@ class GeneticAlgorithm(Tuner):
         """Select the best of ``tournament_size`` random individuals."""
         picks = rng.integers(0, len(population), size=self.tournament_size)
         contenders = [population[int(i)] for i in picks]
-        return min(contenders, key=lambda ind: ind.value)
+        return min(contenders, key=_BY_VALUE)
+
+    def _tournament_pair(self, population: list[_Individual],
+                         rng: np.random.Generator
+                         ) -> tuple[_Individual, _Individual]:
+        """Both parents' tournaments in one sized draw.
+
+        The population does not change between the two back-to-back parent
+        selections, so one ``size=2 * tournament_size`` draw consumes the
+        generator stream exactly like two consecutive :meth:`_tournament`
+        draws -- half the RNG dispatch per child.
+        """
+        k = self.tournament_size
+        picks = rng.integers(0, len(population), size=2 * k).tolist()
+        parent_a = min((population[i] for i in picks[:k]), key=_BY_VALUE)
+        parent_b = min((population[i] for i in picks[k:]), key=_BY_VALUE)
+        return parent_a, parent_b
 
     def _crossover(self, a: _Individual, b: _Individual,
                    rng: np.random.Generator) -> np.ndarray:
-        """Uniform crossover: each gene comes from either parent with equal probability."""
-        child = np.empty_like(a.digits)
-        for j in range(child.size):
-            child[j] = a.digits[j] if rng.random() < 0.5 else b.digits[j]
-        return child
+        """Uniform crossover: each gene comes from either parent with equal probability.
 
-    def _mutate(self, problem: TuningProblem, digits: np.ndarray,
+        One sized draw decides every gene gate -- the generator stream is
+        identical to drawing one uniform per gene in parameter order.
+        """
+        from_a = rng.random(a.digits.size) < 0.5
+        return np.where(from_a, a.digits, b.digits)
+
+    def _mutate(self, radices: list[int], digits: np.ndarray,
                 rng: np.random.Generator) -> np.ndarray:
-        """Re-sample each gene with probability ``mutation_rate``."""
-        for j, parameter in enumerate(problem.space.parameters):
-            if rng.random() < self.mutation_rate:
-                digits[j] = parameter.sample_index(rng)
+        """Re-sample each gene with probability ``mutation_rate``.
+
+        The gate draw and the conditional re-sample draw interleave per gene, so
+        this operator stays a scalar loop by construction: hoisting the gates
+        into a sized draw would reorder the generator stream whenever any gene
+        mutates.
+        """
+        random = rng.random
+        integers = rng.integers
+        rate = self.mutation_rate
+        for j, radix in enumerate(radices):
+            if random() < rate:
+                digits[j] = integers(0, radix)
         return digits
 
     def _repair(self, problem: TuningProblem, digits: np.ndarray,
                 rng: np.random.Generator) -> tuple[np.ndarray, int]:
         """Replace constraint-violating offspring with a fresh random configuration."""
         space = problem.space
-        index = int(space.digits_to_indices(digits[None, :])[0])
+        index = int(digits @ space._places)
         if space.index_is_feasible(index):
             return digits, index
         index = space.sample_one_index(rng=rng, valid_only=True)
-        return space._digits_of_index(index), index
+        return space.digits_of_index(index), index
 
     # -------------------------------------------------------------------- main loop
 
     def _run(self, problem: TuningProblem, budget: Budget, rng: np.random.Generator) -> None:
         space = problem.space
         population: list[_Individual] = []
-        # The initial population is one batched ``ask``: the space draws and
-        # constraint-filters the whole block of unique indices in array form.
+        # The initial population is one batched ``ask`` plus one bulk-accounted
+        # evaluation run: the space draws and constraint-filters the whole block
+        # of unique indices in array form, and the run settles with a single
+        # budget charge where the budget allows precomputing the prefix.
         initial = space.sample_indices(self.population_size, rng=rng,
                                        valid_only=True, unique=True)
-        for index in initial.tolist():
-            obs = self.evaluate_index(index, valid_hint=True)
-            if obs is None:
-                return
+        observations = self.evaluate_index_run(initial)
+        for index, obs in zip(initial.tolist(), observations):
             if not obs.is_failure:
-                population.append(_Individual(space._digits_of_index(index),
+                population.append(_Individual(space.digits_of_index(index),
                                               index, obs.value))
-        if not population:
+        if len(observations) < initial.size or not population:
             return
 
-        while not self.budget_exhausted:
-            parent_a = self._tournament(population, rng)
-            parent_b = self._tournament(population, rng)
+        radices = [p.cardinality for p in space.parameters]
+        gen = self.generation_run()
+        children = 0
+        # The budget check only matters at generation boundaries (in peeked mode
+        # nothing is charged between flushes; in sequential mode an exhausted
+        # budget surfaces as a None fate), so mid-generation children skip it.
+        while children or not self.budget_exhausted:
+            parent_a, parent_b = self._tournament_pair(population, rng)
             child_digits = self._crossover(parent_a, parent_b, rng)
-            child_digits = self._mutate(problem, child_digits, rng)
+            child_digits = self._mutate(radices, child_digits, rng)
             child_digits, child_index = self._repair(problem, child_digits, rng)
-            obs = self.evaluate_index(child_index, valid_hint=True)
-            if obs is None:
+            fate = gen.submit(child_index)
+            if fate is None:
                 return
-            if obs.is_failure:
-                continue
-            child = _Individual(child_digits, child_index, obs.value)
-            # Steady-state replacement: the child ousts the current worst individual
-            # if it improves on it; elites are never replaced.
-            population.sort(key=lambda ind: ind.value)
-            protected = population[: self.elitism]
-            rest = population[self.elitism:]
-            if rest and child.value < rest[-1].value:
-                rest[-1] = child
-            elif len(population) < self.population_size:
-                rest.append(child)
-            population = protected + rest
+            value, failed = fate
+            if not failed:
+                child = _Individual(child_digits, child_index, value)
+                # Steady-state replacement: the child ousts the current worst
+                # individual if it improves on it; elites are never replaced.
+                population.sort(key=_BY_VALUE)
+                protected = population[: self.elitism]
+                rest = population[self.elitism:]
+                if rest and child.value < rest[-1].value:
+                    rest[-1] = child
+                elif len(population) < self.population_size:
+                    rest.append(child)
+                population = protected + rest
+            children += 1
+            if children >= self.population_size:
+                # One population's worth of children is this steady-state GA's
+                # generation: settle it in one bulk evaluation.
+                children = 0
+                if not gen.flush():
+                    return

@@ -166,7 +166,7 @@ class GreedyILS(Tuner):
                  rng: np.random.Generator) -> int:
         """Re-sample a few digits of ``index`` uniformly at random."""
         space = problem.space
-        digits = space._digits_of_index(index).copy()
+        digits = space.digits_of_index(index).copy()
         dims = space.dimensions
         chosen = rng.choice(dims, size=min(self.perturbation_strength, dims),
                             replace=False)

@@ -9,11 +9,13 @@ is the architectural claim of the paper's Sec. I.
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.budget import Budget
+from repro.core.errors import BudgetExhaustedError
 from repro.core.problem import TuningProblem
 from repro.core.result import TuningResult
 from repro.tuners.base import Tuner
@@ -24,8 +26,12 @@ __all__ = ["PortfolioTuner"]
 class _BudgetSlice(Budget):
     """A view of a parent budget that is additionally capped at a per-member slice.
 
-    Charges are forwarded to the parent so the overall accounting stays correct; the
-    slice only narrows when *this member* must stop.
+    Charges -- scalar and bulk -- are forwarded to the parent so the overall
+    accounting stays correct; the slice only narrows when *this member* must stop.
+    The slice satisfies the full bulk-accounting protocol
+    (:meth:`Budget.affordable_evaluations`), so generation-batched members inside a
+    portfolio settle whole generations with one :meth:`charge_bulk` against the
+    shared budget instead of silently degrading to per-evaluation charges.
     """
 
     def __init__(self, parent: Budget, slice_evaluations: int):
@@ -41,9 +47,37 @@ class _BudgetSlice(Budget):
     def exhausted(self) -> bool:  # type: ignore[override]
         return self._parent.exhausted or self._used_in_slice >= self._slice
 
+    @property
+    def remaining_evaluations(self) -> int | float:  # type: ignore[override]
+        return min(self._parent.remaining_evaluations,
+                   max(self._slice - self._used_in_slice, 0))
+
+    def affordable_evaluations(self) -> int | float | None:
+        parent = self._parent.affordable_evaluations()
+        if parent is None:
+            return None
+        return min(parent, max(self._slice - self._used_in_slice, 0))
+
     def charge(self, simulated_seconds: float = 0.0, new_config: bool = False) -> None:
+        if self._used_in_slice >= self._slice:
+            raise BudgetExhaustedError(
+                f"budget slice exhausted after {self._used_in_slice} evaluations")
         self._parent.charge(simulated_seconds=simulated_seconds, new_config=new_config)
         self._used_in_slice += 1
+
+    def charge_bulk(self, count: int,
+                    simulated_seconds: "float | list[float]" = 0.0,
+                    new_configs: int = 0) -> None:
+        if count <= 0:
+            return
+        if count > self._slice - self._used_in_slice:
+            raise BudgetExhaustedError(
+                f"bulk charge of {count} evaluations overshoots the remaining "
+                f"slice allowance of {self._slice - self._used_in_slice} "
+                f"(slice={self._slice}, used={self._used_in_slice})")
+        self._parent.charge_bulk(count, simulated_seconds=simulated_seconds,
+                                 new_configs=new_configs)
+        self._used_in_slice += count
 
 
 class PortfolioTuner(Tuner):
@@ -88,9 +122,17 @@ class PortfolioTuner(Tuner):
             try:
                 member_rng = np.random.default_rng(int(rng.integers(0, 2**31 - 1)))
                 member._run(problem, member._budget, member_rng)
-            except Exception:
-                # A misbehaving member must not sink the whole portfolio run; the
-                # remaining members still get their slices.
+            except BudgetExhaustedError:
+                # The expected stop signal: the member ran its slice (or the
+                # shared budget) dry mid-loop.  The next member takes over.
                 pass
+            except Exception as exc:
+                # A misbehaving member must not sink the whole portfolio run --
+                # the remaining members still get their slices -- but a real
+                # member bug must stay distinguishable from slice exhaustion.
+                warnings.warn(
+                    f"portfolio member {member.name!r} ({type(member).__name__}) "
+                    f"failed and was skipped: {exc!r}",
+                    RuntimeWarning, stacklevel=2)
             finally:
                 self._clear_run_state(member)

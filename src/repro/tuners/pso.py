@@ -6,9 +6,14 @@ velocity update uses the standard inertia + cognitive + social formulation.  PSO
 of the global optimizers commonly shipped by the autotuners the paper integrates with
 (Kernel Tuner in particular), which is why it is part of the portfolio.
 
-Like the other population tuners, the swarm is array-native: positions encode from the
-value columns, snapping goes through the digit decoder straight to a space index, and
-evaluation uses the integer fast path -- no configuration dictionaries in the loop.
+Like the other population tuners, the swarm is array-native and generation-batched:
+positions encode from the value columns, each particle's cognitive/social noise is
+one sized ``(2, dims)`` draw (stream-identical to the two per-vector draws of the
+seed implementation), snapping goes through the padded encoded-value grid straight
+to a space index, and evaluation settles through
+:class:`~repro.tuners.base.GenerationRun` -- the swarm's best must be current before
+the *next* particle moves, so values are peeked per candidate and the whole sweep is
+bulk-accounted in one run.  Trajectories are byte-identical to the per-candidate loop.
 """
 
 from __future__ import annotations
@@ -60,38 +65,43 @@ class ParticleSwarm(Tuner):
         global_best = positions[0].copy()
         global_best_value = np.inf
 
-        for i, index in enumerate(indices.tolist()):
-            obs = self.evaluate_index(index, valid_hint=True)
-            if obs is None:
-                return
+        observations = self.evaluate_index_run(indices)
+        for i, obs in enumerate(observations):
             value = obs.value if not obs.is_failure else np.inf
             personal_best_value[i] = value
             if value < global_best_value:
                 global_best_value = value
                 global_best = positions[i].copy()
+        if len(observations) < indices.size:
+            return
 
+        dims = positions.shape[1]
+        inertia, cognitive, social = self.inertia, self.cognitive, self.social
+        gen = self.generation_run()
         while not self.budget_exhausted:
             for i in range(indices.size):
-                if self.budget_exhausted:
-                    return
-                r_cog = rng.random(positions.shape[1])
-                r_soc = rng.random(positions.shape[1])
-                velocities[i] = (self.inertia * velocities[i]
-                                 + self.cognitive * r_cog * (personal_best[i] - positions[i])
-                                 + self.social * r_soc * (global_best - positions[i]))
-                positions[i] = positions[i] + velocities[i]
+                # One sized draw covers both noise vectors; the stream order is
+                # exactly r_cog then r_soc, as in the per-vector draws.
+                r_cog, r_soc = rng.random((2, dims))
+                velocities[i] = (inertia * velocities[i]
+                                 + cognitive * r_cog * (personal_best[i] - positions[i])
+                                 + social * r_soc * (global_best - positions[i]))
+                positions[i] += velocities[i]
 
                 candidate = space.decode_index(positions[i])
                 if not space.index_is_feasible(candidate):
                     candidate = space.sample_one_index(rng=rng, valid_only=True)
-                    positions[i] = space.encode_indices([candidate])[0]
-                obs = self.evaluate_index(candidate, valid_hint=True)
-                if obs is None:
+                    positions[i] = space.encode_index(candidate)
+                fate = gen.submit(candidate)
+                if fate is None:
                     return
-                value = obs.value if not obs.is_failure else np.inf
+                value, failed = fate
+                value = np.inf if failed else value
                 if value < personal_best_value[i]:
                     personal_best_value[i] = value
                     personal_best[i] = positions[i].copy()
                 if value < global_best_value:
                     global_best_value = value
                     global_best = positions[i].copy()
+            if not gen.flush():
+                return

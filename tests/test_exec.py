@@ -435,9 +435,11 @@ class TestBatchEvaluatePaths:
 
     def test_evaluate_all_respects_budget_subclass_exhaustion(self, pnpoly,
                                                               gpu_3090):
-        # Budget subclasses may override `exhausted` (the portfolio tuner's slice
-        # does); the precomputed fast-path allowance is invalid for them, so
-        # evaluate_all must fall back to the per-evaluation loop.
+        # Budget subclasses may override `exhausted` (the portfolio tuner's
+        # slice does); the fast path's allowance comes from the
+        # affordable_evaluations protocol, which the slice answers with its own
+        # cap -- the batch must stop at the slice, and every charge must reach
+        # the shared parent budget.
         from repro.tuners.portfolio import _BudgetSlice
 
         candidates = pnpoly.space.sample(30, rng=8)

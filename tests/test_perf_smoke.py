@@ -28,6 +28,7 @@ FFG_2K_CEILING_S = 10.0
 COUNT_GEMM_CEILING_S = 10.0
 SHARDED_CAMPAIGN_10K_CEILING_S = 20.0
 TUNER_CAMPAIGN_CEILING_S = 3.0
+POPULATION_CAMPAIGN_CEILING_S = 3.0
 EVALUATE_INDEX_20K_CEILING_S = 2.0
 HASHED_BATCH_LOOKUP_CEILING_S = 3.0
 
@@ -108,6 +109,44 @@ def test_index_native_tuner_campaign_under_ceiling(benchmarks, gpu_3090):
         f"200-run index-native tuner campaign took {elapsed:.2f}s "
         f"(ceiling {TUNER_CAMPAIGN_CEILING_S}s); the tuner hot loop has likely "
         f"regressed to the dictionary path")
+
+
+def test_population_campaign_under_ceiling(benchmarks, gpu_3090):
+    # A compressed version of the BENCH_perf population campaign: genetic /
+    # differential evolution / particle swarm, 15 seeded runs each of 150
+    # evaluations, replayed against a sampled gemm cache (feasible memo built
+    # on demand -- gemm sits under the memoize threshold).  The
+    # generation-batched runtime finishes this in well under half a second; a
+    # regression to per-candidate budget charges, per-parameter decode scans or
+    # constraint-eval repair draws lands beyond the ceiling even on fast
+    # machines.
+    from repro.core.budget import Budget
+    from repro.tuners import (DifferentialEvolution, GeneticAlgorithm,
+                              ParticleSwarm)
+
+    cache = benchmarks["gemm"].build_cache(gpu_3090, sample_size=2_000, seed=1)
+    cache.index_table()
+    cache.space.feasible_indices()
+
+    def campaign():
+        evaluations = 0
+        for factory in (GeneticAlgorithm, DifferentialEvolution, ParticleSwarm):
+            for seed in range(15):
+                problem = cache.to_problem(strict=False)
+                result = factory().tune(problem, Budget(max_evaluations=150),
+                                        seed=seed)
+                evaluations += len(result)
+        return evaluations
+
+    evaluations, elapsed = _timed(campaign)
+    # A GA run whose whole initial population replays as cache misses stops
+    # after it (algorithm behaviour, identical to the sequential loop), so a
+    # handful of the 45 runs may legitimately end early.
+    assert evaluations >= 6_000
+    assert elapsed < POPULATION_CAMPAIGN_CEILING_S, (
+        f"45-run generation-batched population campaign took {elapsed:.2f}s "
+        f"(ceiling {POPULATION_CAMPAIGN_CEILING_S}s); the batched population "
+        f"runtime has likely regressed to per-candidate loops")
 
 
 def test_evaluate_index_throughput_under_ceiling(benchmarks, gpu_3090):

@@ -164,6 +164,42 @@ class TestBudget:
         with pytest.raises(ValueError):
             Budget(max_evaluations=-1)
 
+    def test_charge_bulk_exactly_remaining_is_fine(self):
+        budget = Budget(max_evaluations=5)
+        budget.charge_bulk(3)
+        budget.charge_bulk(2)  # exactly the remaining allowance
+        assert budget.evaluations_used == 5
+        assert budget.exhausted
+
+    def test_charge_bulk_overshoot_raises(self):
+        budget = Budget(max_evaluations=5)
+        budget.charge_bulk(3)
+        with pytest.raises(BudgetExhaustedError):
+            budget.charge_bulk(3)  # one past the remaining allowance
+        # The failed bulk charge must not have recorded anything.
+        assert budget.evaluations_used == 3
+        fresh = Budget(max_evaluations=5)
+        with pytest.raises(BudgetExhaustedError):
+            fresh.charge_bulk(6)
+        assert fresh.evaluations_used == 0
+
+    def test_charge_bulk_unlimited_budget_never_overshoots(self):
+        budget = Budget()
+        budget.charge_bulk(10_000)
+        assert budget.evaluations_used == 10_000
+
+    def test_affordable_evaluations_protocol(self):
+        assert Budget().affordable_evaluations() == math.inf
+        budget = Budget(max_evaluations=7)
+        assert budget.affordable_evaluations() == 7
+        budget.charge_bulk(5)
+        assert budget.affordable_evaluations() == 2
+        # Outcome-dependent limits cannot precompute an affordable prefix.
+        assert Budget(max_unique_configs=3).affordable_evaluations() is None
+        assert Budget(max_simulated_seconds=1.0).affordable_evaluations() is None
+        assert Budget(max_evaluations=5,
+                      max_unique_configs=5).affordable_evaluations() is None
+
 
 class TestObjectiveDirection:
     def test_better(self):

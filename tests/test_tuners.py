@@ -183,6 +183,112 @@ class TestSpecificTuners:
             PortfolioTuner([])
 
 
+class TestPortfolioBudgetSlice:
+    """The portfolio's budget slice must satisfy the full bulk protocol."""
+
+    def test_bulk_charges_reach_the_parent_budget(self):
+        # Regression for the pre-fix hole: _BudgetSlice overrode charge() but
+        # inherited Budget.charge_bulk, so a bulk-accounted member would have
+        # charged the slice's own (unlimited) counters -- never the shared
+        # parent, never the slice cap.
+        from repro.tuners.portfolio import _BudgetSlice
+
+        parent = Budget(max_evaluations=20)
+        budget_slice = _BudgetSlice(parent, 10)
+        budget_slice.charge_bulk(4, simulated_seconds=[0.1] * 4, new_configs=4)
+        assert parent.evaluations_used == 4
+        assert parent.unique_used == 4
+        assert budget_slice._used_in_slice == 4
+        assert budget_slice.remaining_evaluations == 6
+        assert budget_slice.affordable_evaluations() == 6
+
+    def test_bulk_charge_clamps_to_the_slice(self):
+        from repro.core.errors import BudgetExhaustedError
+        from repro.tuners.portfolio import _BudgetSlice
+
+        parent = Budget(max_evaluations=100)
+        budget_slice = _BudgetSlice(parent, 10)
+        budget_slice.charge_bulk(10)  # exactly the slice
+        assert budget_slice.exhausted and not parent.exhausted
+        fresh = _BudgetSlice(Budget(max_evaluations=100), 10)
+        with pytest.raises(BudgetExhaustedError):
+            fresh.charge_bulk(11)
+        assert fresh._parent.evaluations_used == 0  # nothing leaked through
+
+    def test_scalar_charge_raises_when_slice_is_spent(self):
+        from repro.core.errors import BudgetExhaustedError
+        from repro.tuners.portfolio import _BudgetSlice
+
+        budget_slice = _BudgetSlice(Budget(max_evaluations=100), 1)
+        budget_slice.charge()
+        with pytest.raises(BudgetExhaustedError):
+            budget_slice.charge()
+
+    def test_affordable_follows_the_narrower_limit(self):
+        from repro.tuners.portfolio import _BudgetSlice
+
+        parent = Budget(max_evaluations=6)
+        budget_slice = _BudgetSlice(parent, 10)
+        assert budget_slice.affordable_evaluations() == 6  # parent narrower
+        assert _BudgetSlice(Budget(), 10).affordable_evaluations() == 10
+        # A parent that cannot precompute a prefix poisons the slice too.
+        seconds = Budget(max_simulated_seconds=1.0)
+        assert _BudgetSlice(seconds, 10).affordable_evaluations() is None
+
+    def test_bulk_member_charges_shared_budget_and_respects_slice(self,
+                                                                  benchmarks,
+                                                                  gpu_3090):
+        # End to end: generation-batched members inside a portfolio on a
+        # peekable replay problem take the bulk path against their slice.
+        cache = benchmarks["gemm"].build_cache(gpu_3090, sample_size=300, seed=4)
+        problem = cache.to_problem(strict=False)
+        assert problem.peekable
+        budget = Budget(max_evaluations=40)
+        portfolio = PortfolioTuner([GeneticAlgorithm(population_size=6),
+                                    DifferentialEvolution(population_size=6)],
+                                   seed=0)
+        result = portfolio.tune(problem, budget, seed=0)
+        assert budget.evaluations_used == 40  # every charge hit the parent
+        assert result.num_evaluations == 40
+
+
+class TestPortfolioMemberFailures:
+    class _Boom(RandomSearch):
+        name = "boom"
+
+        def _run(self, problem, budget, rng):
+            raise RuntimeError("member exploded")
+
+    class _SliceBurner(RandomSearch):
+        name = "burner"
+
+        def _run(self, problem, budget, rng):
+            # Evaluate straight past the slice so the budget itself raises.
+            for index in range(problem.space.cardinality):
+                self.evaluate_index(index)
+                self._budget.charge()  # force an over-slice charge
+
+    def test_misbehaving_member_warns_and_run_continues(self, pnpoly, gpu_3090):
+        portfolio = PortfolioTuner([self._Boom(), RandomSearch()], seed=0)
+        budget = Budget(max_evaluations=20)
+        with pytest.warns(RuntimeWarning, match="boom"):
+            result = portfolio.tune(pnpoly.problem(gpu_3090), budget, seed=0)
+        # The surviving member still ran its (and the failed member's) slice.
+        assert result.num_evaluations == 20
+
+    def test_budget_exhaustion_is_not_a_member_failure(self, pnpoly, gpu_3090,
+                                                       recwarn):
+        portfolio = PortfolioTuner([self._SliceBurner(), RandomSearch()], seed=0)
+        budget = Budget(max_evaluations=20)
+        result = portfolio.tune(pnpoly.problem(gpu_3090), budget, seed=0)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, RuntimeWarning)]
+        # The burner's slice raised (half its charges were evaluation-free),
+        # the remaining member still consumed everything left in the budget.
+        assert budget.evaluations_used == 20
+        assert result.num_evaluations == 15
+
+
 class TestOnRealBenchmark:
     def test_all_registered_tuners_run_on_pnpoly(self, pnpoly_problem):
         for name, factory in all_tuners().items():
