@@ -8,13 +8,20 @@ walkthrough shows the execution subsystem that produces them at scale:
 2. run it serially (the reference) and in parallel (a process pool), and verify the
    merged caches are *byte-identical*;
 3. checkpoint shards to disk, "crash" mid-campaign, and resume without
-   re-evaluating completed work.
+   re-evaluating completed work;
+4. crash-and-recover under *injected* faults: a deterministic ``FaultPlan``
+   crashes workers and raises transient errors mid-campaign, a ``RetryPolicy``
+   absorbs them, a checkpoint fragment gets corrupted on disk and healed on
+   resume -- and the final caches are still byte-identical to the serial
+   reference.
 
 Everything here is also reachable without Python::
 
     python -m repro.exec plan   --benchmarks hotspot --gpus RTX_3090
     python -m repro.exec run    --benchmarks hotspot --workers 4 \
+        --max-retries 3 --shard-timeout 600 \
         --checkpoint-dir ckpt/ --output-dir caches/
+    python -m repro.exec doctor --checkpoint-dir ckpt/ --fix
     python -m repro.exec resume --checkpoint-dir ckpt/ --workers 4
     python -m repro.exec status --checkpoint-dir ckpt/
 
@@ -33,8 +40,9 @@ import time
 from pathlib import Path
 
 from repro import benchmark_suite, gpu_catalog
-from repro.exec import CheckpointStore, ParallelExecutor, SerialExecutor, ShardPlanner
-from repro.exec import resume_campaign
+from repro.exec import (CheckpointStore, Fault, FaultPlan, ParallelExecutor,
+                        RetryPolicy, SerialExecutor, ShardPlanner, corrupt_fragment,
+                        resume_campaign)
 
 
 def main() -> None:
@@ -90,6 +98,56 @@ def main() -> None:
                         == json.dumps(resumed[key].to_dict()) for key in serial)
         print(f"resumed campaign byte-identical to uninterrupted serial run: "
               f"{identical}")
+
+    # --------------------------------- 4. chaos: crash, retry, corrupt, heal
+    # Shard evaluation is a pure function of (benchmark, GPU, indices), so a
+    # retried shard reproduces exactly the rows the first attempt would have
+    # written -- faults cost wall-clock time, never correctness.
+    shard_ids = [shard.shard_id for shard in plan.shards]
+    fault_plan = FaultPlan([
+        # First attempt of the first shard dies hard (os._exit in the worker);
+        # the parallel executor notices the dead process, respawns the pool
+        # slot, and retries the shard.
+        Fault(site="worker", kind="crash", shard_id=shard_ids[0], attempts=(0,)),
+        # A mid-campaign shard raises a transient error twice before
+        # succeeding on its third attempt.
+        Fault(site="worker", kind="transient", shard_id=shard_ids[len(shard_ids) // 2],
+              attempts=(0, 1)),
+    ])
+    retry = RetryPolicy(max_retries=3, base_delay=0.01, max_delay=0.1, seed=2023)
+    print(f"\nchaos run: crashing shard {shard_ids[0]} once, failing shard "
+          f"{shard_ids[len(shard_ids) // 2]} transiently twice "
+          f"(backoff for shard {shard_ids[0]}: "
+          f"{[round(d, 4) for d in retry.delays(shard_ids[0])]}s)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(Path(tmp) / "ckpt")
+        executor = ParallelExecutor(workers=workers, retry_policy=retry,
+                                    shard_timeout=600.0, fault_plan=fault_plan)
+        chaotic = executor.run(plan, benchmarks=sampled, gpus=gpus, checkpoint=store)
+        identical = all(json.dumps(serial[key].to_dict())
+                        == json.dumps(chaotic[key].to_dict()) for key in serial)
+        print(f"retries per shard: {executor.retry_counts}  quarantined: "
+              f"{len(executor.quarantine)}  byte-identical despite faults: "
+              f"{identical}")
+
+        # Now damage a completed fragment on disk (a bit flip, as a failing
+        # device or interrupted write would).  ``doctor`` flags it; resume
+        # discards and re-executes exactly that shard.
+        victim = plan.shards[1]
+        corrupt_fragment(store.fragment_path(victim), "bitflip")
+        report = store.verify_fragments(plan)
+        print(f"after bit flip: {len(report['ok'])} fragments ok, "
+              f"{len(report['damaged'])} damaged "
+              f"(shard {report['damaged'][0]['shard_id']})")
+
+        healer = ParallelExecutor(workers=workers, retry_policy=retry)
+        healed = resume_campaign(store, executor=healer,
+                                 benchmarks=sampled, gpus=gpus)
+        identical = all(json.dumps(serial[key].to_dict())
+                        == json.dumps(healed[key].to_dict()) for key in serial)
+        print(f"healed on resume: repaired shards {healer.repaired_shards}, "
+              f"byte-identical after repair: {identical}")
 
 
 if __name__ == "__main__":

@@ -40,7 +40,9 @@ from repro.exec.executors import (
     resume_campaign,
     run_campaign,
 )
+from repro.exec.faults import Fault, FaultPlan, corrupt_fragment
 from repro.exec.progress import ShardProgressReporter
+from repro.exec.retry import RetryPolicy
 from repro.exec.planner import (
     DEFAULT_SHARD_SIZE,
     PAPER_SAMPLE_SIZE,
@@ -53,7 +55,8 @@ from repro.exec.planner import (
 
 __all__ = [
     "CampaignPlan", "CampaignUnit", "CheckpointStore", "Executor",
-    "ParallelExecutor", "SerialExecutor", "Shard", "ShardPlanner",
+    "Fault", "FaultPlan", "ParallelExecutor", "RetryPolicy", "SerialExecutor",
+    "Shard", "ShardPlanner", "corrupt_fragment",
     "run_campaign", "resume_campaign", "ShardProgressReporter",
     "resolve_memoize_threshold", "apply_memoize_threshold",
     "DEFAULT_SHARD_SIZE", "MEMOIZE_THRESHOLD_ENV",

@@ -11,13 +11,18 @@ Layout::
 
     <directory>/
         manifest.json        the serialized CampaignPlan
-        shard_00000.json     rows of shard 0 (value/valid/error triples)
+        health.json          retry / quarantine / repair history (optional)
+        shard_00000.json     rows of shard 0 (value/valid/error triples, checksummed)
         shard_00001.json     ...
 
 The store is deliberately dumb: it knows nothing about executors or kernel models,
 only about plans, shards and rows.  Validation is strict -- a manifest that does not
 match the plan being run, or a fragment whose shape disagrees with its shard, raises
-:class:`~repro.core.errors.SerializationError` instead of silently merging wrong data.
+:class:`~repro.core.errors.SerializationError` instead of silently merging wrong
+data; a fragment whose *bytes* are damaged (truncated, bit-flipped, checksum-stale)
+raises the :class:`~repro.core.errors.FragmentIntegrityError` subclass, which the
+executors treat as "discard and re-execute".  :meth:`CheckpointStore.verify_fragments`
+is the offline form of that check (the ``doctor`` CLI subcommand).
 """
 
 from __future__ import annotations
@@ -29,12 +34,26 @@ from typing import Any, Mapping, Sequence
 
 from repro.core.errors import SerializationError
 from repro.exec.planner import CampaignPlan, Shard
-from repro.io.cachefile import load_fragment, load_manifest, save_fragment, save_manifest
+from repro.io.cachefile import (
+    atomic_write_json,
+    load_fragment,
+    load_manifest,
+    read_json,
+    save_fragment,
+    save_manifest,
+)
 
 __all__ = ["CheckpointStore", "benchmark_fingerprint"]
 
 #: Manifest file name inside a checkpoint directory.
 MANIFEST_NAME = "manifest.json"
+
+#: Execution-health record (retries, quarantines, repairs) inside a checkpoint
+#: directory; written by the executors, read by ``status``.
+HEALTH_NAME = "health.json"
+
+#: Format identifier written into every health record.
+HEALTH_VERSION = 1
 
 
 def benchmark_fingerprint(benchmark: Any) -> str:
@@ -141,17 +160,101 @@ class CheckpointStore:
                 f"expected {shard.n_configs}")
         return rows
 
+    def verify_fragments(self, plan: CampaignPlan | None = None) -> dict[str, Any]:
+        """Full integrity sweep of every fragment against the manifest (doctor).
+
+        Each plan shard is classified ``ok`` (present, checksum and shape valid),
+        ``missing`` (no fragment -- normal for an interrupted campaign), or
+        ``damaged`` (present but unreadable, checksum-stale, or describing the
+        wrong shard).  Damaged fragments are exactly what ``resume`` re-executes.
+        """
+        if plan is None:
+            plan = self.load_plan()
+        ok: list[int] = []
+        missing: list[int] = []
+        damaged: list[dict[str, Any]] = []
+        for shard in plan.shards:
+            path = self.fragment_path(shard)
+            if not path.exists():
+                missing.append(shard.shard_id)
+                continue
+            try:
+                self.load_shard(shard)
+            except SerializationError as exc:
+                damaged.append({"shard_id": shard.shard_id,
+                                "benchmark": shard.benchmark, "gpu": shard.gpu,
+                                "path": str(path), "error": str(exc)})
+            else:
+                ok.append(shard.shard_id)
+        return {"ok": ok, "missing": missing, "damaged": damaged,
+                "shards_total": len(plan.shards)}
+
+    # --------------------------------------------------------------------- health
+
+    @property
+    def health_path(self) -> Path:
+        return self.directory / HEALTH_NAME
+
+    def has_health(self) -> bool:
+        return self.health_path.exists()
+
+    def load_health(self) -> dict[str, Any]:
+        """Retry/quarantine/repair history of this checkpoint directory.
+
+        Returns ``{"retries": {shard_id: count}, "quarantined": [records],
+        "repaired": [shard_ids]}`` -- all empty when no health record exists.
+        """
+        if not self.has_health():
+            return {"retries": {}, "quarantined": [], "repaired": []}
+        payload = read_json(self.health_path)
+        retries = {int(shard_id): int(count)
+                   for shard_id, count in payload.get("retries", {}).items()}
+        return {"retries": retries,
+                "quarantined": list(payload.get("quarantined", [])),
+                "repaired": [int(s) for s in payload.get("repaired", [])]}
+
+    def record_health(self, retries: Mapping[int, int],
+                      quarantined: Sequence[Mapping[str, Any]],
+                      repaired: Sequence[int]) -> Path:
+        """Merge one run's retry/quarantine/repair outcome into ``health.json``.
+
+        Retry counts accumulate across sessions; quarantine records from earlier
+        sessions survive only while their shard still lacks a fragment (a later
+        resume that completes the shard clears it) and are replaced by this run's
+        record for the same shard.
+        """
+        previous = self.load_health()
+        merged_retries = {str(shard_id): count
+                          for shard_id, count in previous["retries"].items()}
+        for shard_id, count in retries.items():
+            key = str(shard_id)
+            merged_retries[key] = merged_retries.get(key, 0) + int(count)
+        current_ids = {record["shard_id"] for record in quarantined}
+        kept = [record for record in previous["quarantined"]
+                if record["shard_id"] not in current_ids
+                and not (self.directory / record.get("fragment", "")).exists()]
+        payload = {"health_version": HEALTH_VERSION,
+                   "retries": merged_retries,
+                   "quarantined": kept + [dict(r) for r in quarantined],
+                   "repaired": sorted(set(previous["repaired"]) | set(repaired))}
+        return atomic_write_json(payload, self.health_path)
+
     # --------------------------------------------------------------------- status
 
-    def status(self, plan: CampaignPlan | None = None) -> dict[str, object]:
+    def status(self, plan: CampaignPlan | None = None,
+               session_gap: float | None = None) -> dict[str, object]:
         """Completion summary of the checkpoint directory.
 
         Returns per-unit completed/total shard and config counts (with percentages)
-        plus campaign totals, and -- when at least two fragments exist -- a timing
-        estimate derived from the fragment files' modification times: elapsed
-        wall-clock between the first and last completed shard, the implied
-        configs-per-second throughput, and the ETA for the remaining configs at
-        that rate.  Used by the ``status`` CLI subcommand and by tests.
+        plus campaign totals; retry/quarantine/repair counts from the health
+        record; and -- when at least two fragments exist -- a timing estimate
+        derived from the fragment files' modification times: *active* elapsed
+        wall-clock, the implied configs-per-second throughput, and the ETA for the
+        remaining configs at that rate.  Fragment mtimes are clustered into
+        sessions (consecutive gaps above ``session_gap`` seconds start a new one;
+        default: adaptive, ``max(60, 10 x median gap)``) so an interrupted-then-
+        resumed campaign does not dilute its rate with the hours the run sat dead
+        on disk.  Used by the ``status`` CLI subcommand and by tests.
         """
         if plan is None:
             plan = self.load_plan()
@@ -180,16 +283,37 @@ class CheckpointStore:
             "percent": round(100.0 * configs_completed / configs_total, 1)
                        if configs_total else 100.0,
         }
+        health = self.load_health()
+        status["retry_attempts"] = sum(health["retries"].values())
+        status["retried_shards"] = len(health["retries"])
+        status["quarantined_shards"] = len(health["quarantined"])
+        if health["quarantined"]:
+            status["quarantined"] = health["quarantined"]
+        status["repaired_shards"] = len(health["repaired"])
         timed = [(self.fragment_path(s).stat().st_mtime, s.n_configs)
                  for s in plan.shards if s.shard_id in done]
         if len(timed) >= 2:
             timed.sort()
-            elapsed = timed[-1][0] - timed[0][0]
-            if elapsed > 0:
-                # The earliest fragment's mtime marks the end of its shard, so the
-                # observed span covers all completed configs but that shard's.
-                rate = max(configs_completed - timed[0][1], 1) / elapsed
-                status["elapsed_s"] = round(elapsed, 3)
+            gaps = [later[0] - earlier[0] for earlier, later in zip(timed, timed[1:])]
+            if session_gap is None:
+                positive = sorted(gap for gap in gaps if gap > 0)
+                median = positive[len(positive) // 2] if positive else 0.0
+                session_gap = max(60.0, 10.0 * median)
+            # A fragment's mtime marks the *end* of its shard, so each intra-session
+            # gap covers exactly the configs of its later fragment; gaps above the
+            # session threshold are dead time between runs and count toward neither
+            # the elapsed wall-clock nor the throughput.
+            active = 0.0
+            counted = 0
+            for gap, (_, n_configs) in zip(gaps, timed[1:]):
+                if gap > session_gap:
+                    continue
+                active += gap
+                counted += n_configs
+            status["sessions"] = 1 + sum(1 for gap in gaps if gap > session_gap)
+            if counted > 0 and active > 0:
+                rate = counted / active
+                status["elapsed_s"] = round(active, 3)
                 status["configs_per_s"] = round(rate, 1)
                 if configs_total > configs_completed:
                     status["eta_s"] = round(

@@ -15,9 +15,22 @@ Subcommands
     ``<benchmark>_<gpu>.json[.gz]`` files.
 ``resume``
     Finish an interrupted ``run`` from its checkpoint directory; only missing shards
-    are evaluated and the merged caches are byte-identical to an uninterrupted run.
+    are evaluated (damaged fragments are discarded and re-executed) and the merged
+    caches are byte-identical to an uninterrupted run.
 ``status``
-    Show per-unit completion of a checkpoint directory.
+    Show per-unit completion of a checkpoint directory, plus its retry/quarantine
+    history.
+``doctor``
+    Integrity-check every fragment of a checkpoint directory against its manifest;
+    ``--fix`` deletes the damaged ones so ``resume`` re-executes exactly those
+    shards.
+
+Fault tolerance: ``run`` and ``resume`` accept ``--max-retries N`` (retry transient
+shard failures on a deterministic backoff schedule, then quarantine instead of
+aborting -- exit code 3 signals a completed-but-quarantined campaign) and
+``--shard-timeout S`` (kill and retry shards stuck past a wall-clock deadline;
+parallel runs only).  Ctrl-C and SIGTERM shut down gracefully: completed shards are
+flushed to the checkpoint first, and exit code 130 marks the run resumable.
 
 Examples
 --------
@@ -26,9 +39,11 @@ Examples
 
     python -m repro.exec plan --benchmarks hotspot --gpus RTX_3090
     python -m repro.exec run --benchmarks hotspot,expdist --workers 4 \
+        --max-retries 3 --shard-timeout 600 \
         --checkpoint-dir ckpt/ --output-dir caches/
     python -m repro.exec resume --checkpoint-dir ckpt/ --workers 4 --output-dir caches/
     python -m repro.exec status --checkpoint-dir ckpt/
+    python -m repro.exec doctor --checkpoint-dir ckpt/ --fix
 
 Custom benchmarks join a campaign by *spec* (no registration, no Python): the spec is
 recorded into the plan manifest, so ``resume``/``status`` round-trip it::
@@ -42,8 +57,11 @@ recorded into the plan manifest, so ``resume``/``status`` round-trip it::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -63,8 +81,44 @@ from repro.exec.executors import (
 )
 from repro.exec.planner import PAPER_SAMPLE_SIZE, DEFAULT_SHARD_SIZE, ShardPlanner
 from repro.exec.progress import ShardProgressReporter, format_duration
+from repro.exec.retry import RetryPolicy
 
 __all__ = ["main", "build_parser"]
+
+#: Exit code of a campaign that completed but quarantined shards (their units are
+#: withheld from the merged caches; `status`/`resume` show and finish them).
+EXIT_QUARANTINED = 3
+
+#: Exit code of an interrupted (Ctrl-C / SIGTERM) but resumable run -- 128+SIGINT,
+#: the conventional shell encoding.
+EXIT_INTERRUPTED = 130
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Translate SIGTERM into KeyboardInterrupt while a campaign runs.
+
+    Schedulers and ``timeout(1)`` send SIGTERM; routing it through the same
+    graceful-shutdown path as Ctrl-C means completed shards are flushed to the
+    checkpoint and the run exits resumable instead of dying mid-write.  Signal
+    handlers are main-thread-only; elsewhere (tests, embedding) this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, OSError):  # pragma: no cover - restricted environment
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _names(raw: str | None, known: Sequence[str], kind: str) -> list[str] | None:
@@ -125,6 +179,15 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
                         help="gzip the cache files written to --output-dir")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-shard progress lines")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="retry transiently failed shards up to N times on a "
+                             "deterministic backoff schedule, then quarantine them "
+                             "instead of aborting the campaign (default: fail fast "
+                             "on the first shard error)")
+    parser.add_argument("--shard-timeout", type=float, default=None, metavar="S",
+                        help="wall-clock seconds one shard attempt may take; a "
+                             "worker stuck past it is killed and the shard retried "
+                             "(parallel runs only; default: no timeout)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -148,14 +211,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     status = sub.add_parser("status", help="show checkpoint completion")
     status.add_argument("--checkpoint-dir", required=True, metavar="DIR")
+
+    doctor = sub.add_parser("doctor",
+                            help="integrity-check checkpoint fragments")
+    doctor.add_argument("--checkpoint-dir", required=True, metavar="DIR")
+    doctor.add_argument("--fix", action="store_true",
+                        help="delete damaged fragments so resume re-executes "
+                             "exactly those shards")
     return parser
 
 
 def _make_executor(args: argparse.Namespace) -> Executor:
     threshold = resolve_memoize_threshold(args.memoize_threshold)
+    retry_policy = (RetryPolicy(max_retries=args.max_retries)
+                    if args.max_retries is not None else None)
     if args.workers > 1:
-        return ParallelExecutor(workers=args.workers, memoize_threshold=threshold)
-    return SerialExecutor(memoize_threshold=threshold)
+        return ParallelExecutor(workers=args.workers, memoize_threshold=threshold,
+                                retry_policy=retry_policy,
+                                shard_timeout=args.shard_timeout)
+    return SerialExecutor(memoize_threshold=threshold, retry_policy=retry_policy,
+                          shard_timeout=args.shard_timeout)
 
 
 def _parse_benchmark_spec(raw: str) -> tuple[str, BenchmarkSpec]:
@@ -262,9 +337,15 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         if args.command == "run":
             planner = _planner_from_args(args)
             executor = _make_executor(args)
-            caches = executor.run(
-                planner.plan(), benchmarks=planner.benchmarks, gpus=planner.gpus,
-                checkpoint=args.checkpoint_dir, progress=progress)
+            try:
+                with _sigterm_as_interrupt():
+                    caches = executor.run(
+                        planner.plan(), benchmarks=planner.benchmarks,
+                        gpus=planner.gpus, checkpoint=args.checkpoint_dir,
+                        progress=progress)
+            except KeyboardInterrupt:
+                _print_interrupted(args.checkpoint_dir, out)
+                return EXIT_INTERRUPTED
             # Persist before summarising: a summary hiccup must never discard a
             # completed campaign's caches.
             if args.output_dir:
@@ -273,16 +354,47 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                 best = (f"best {cache.optimum():.4f} ms" if cache.num_valid
                         else "no valid entries")
                 print(f"{benchmark}/{gpu}: {len(cache)} entries, {best}", file=out)
-            return 0
+            return _print_quarantine(executor, out)
 
         if args.command == "resume":
             executor = _make_executor(args)
-            caches = resume_campaign(args.checkpoint_dir, executor=executor,
-                                     progress=progress)
+            try:
+                with _sigterm_as_interrupt():
+                    caches = resume_campaign(args.checkpoint_dir,
+                                             executor=executor,
+                                             progress=progress)
+            except KeyboardInterrupt:
+                _print_interrupted(args.checkpoint_dir, out)
+                return EXIT_INTERRUPTED
             if args.output_dir:
                 _write_caches(caches, args.output_dir, args.compress, out)
             for (benchmark, gpu), cache in caches.items():
                 print(f"{benchmark}/{gpu}: {len(cache)} entries", file=out)
+            return _print_quarantine(executor, out)
+
+        if args.command == "doctor":
+            store = CheckpointStore(args.checkpoint_dir)
+            if not store.has_manifest():
+                print(f"no manifest in {args.checkpoint_dir}", file=out)
+                return 1
+            report = store.verify_fragments()
+            print(f"{len(report['ok'])} ok, {len(report['missing'])} missing, "
+                  f"{len(report['damaged'])} damaged "
+                  f"(of {report['shards_total']} shards)", file=out)
+            for record in report["damaged"]:
+                print(f"damaged shard {record['shard_id']:>5} "
+                      f"[{record['benchmark']}/{record['gpu']}]: "
+                      f"{record['error']}", file=out)
+            if not report["damaged"]:
+                return 0
+            if not args.fix:
+                print("run again with --fix to delete the damaged fragments, "
+                      "then `resume` re-executes exactly those shards", file=out)
+                return 1
+            for record in report["damaged"]:
+                Path(record["path"]).unlink(missing_ok=True)
+                print(f"deleted {record['path']}; shard {record['shard_id']} "
+                      f"will re-execute on resume", file=out)
             return 0
 
         if args.command == "status":
@@ -302,13 +414,52 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                        f"{status['configs_total']} configs "
                        f"({status['percent']:.1f}%) complete")
             if "elapsed_s" in status:
-                summary += (f"; elapsed {format_duration(status['elapsed_s'])} "
+                summary += (f"; active {format_duration(status['elapsed_s'])} "
                             f"at {status['configs_per_s']:.0f} configs/s")
+                if status.get("sessions", 1) > 1:
+                    summary += f" over {status['sessions']} sessions"
                 if "eta_s" in status:
                     summary += f", eta {format_duration(status['eta_s'])}"
             print(summary, file=out)
+            if status.get("retry_attempts"):
+                print(f"retries: {status['retry_attempts']} attempt(s) across "
+                      f"{status['retried_shards']} shard(s)", file=out)
+            if status.get("repaired_shards"):
+                print(f"repaired: {status['repaired_shards']} damaged fragment(s) "
+                      f"discarded and re-executed", file=out)
+            if status.get("quarantined_shards"):
+                print(f"quarantined: {status['quarantined_shards']} shard(s)",
+                      file=out)
+                for record in status.get("quarantined", ()):
+                    print(f"  shard {record['shard_id']:>5} "
+                          f"[{record['benchmark']}/{record['gpu']}] "
+                          f"{record['error_type']}: {record['error']}", file=out)
             return 0
     except ReproError as exc:
         print(f"error: {exc}", file=out)
         return 2
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _print_interrupted(checkpoint_dir: str | None, out) -> None:
+    if checkpoint_dir:
+        print(f"interrupted; completed shards are checkpointed in "
+              f"{checkpoint_dir} -- finish with `python -m repro.exec resume "
+              f"--checkpoint-dir {checkpoint_dir}`", file=out)
+    else:
+        print("interrupted; no --checkpoint-dir was given, so completed shards "
+              "were not persisted", file=out)
+
+
+def _print_quarantine(executor: Executor, out) -> int:
+    """Summarize a finished run's quarantine; the exit code of run/resume."""
+    if not executor.quarantine:
+        return 0
+    print(f"quarantined {len(executor.quarantine)} shard(s); their units are "
+          f"withheld from the merged caches:", file=out)
+    for record in executor.quarantine:
+        print(f"  shard {record['shard_id']:>5} "
+              f"[{record['benchmark']}/{record['gpu']} "
+              f"{record['start']}:{record['stop']}] after {record['attempts']} "
+              f"attempt(s): {record['error_type']}: {record['error']}", file=out)
+    return EXIT_QUARANTINED

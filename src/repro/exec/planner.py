@@ -178,6 +178,18 @@ class CampaignPlan:
         return sorted((s for s in self.shards if s.unit_key == unit.key),
                       key=lambda s: s.start)
 
+    def shard_by_id(self, shard_id: int) -> Shard:
+        """The shard with the given id.
+
+        Shards are the unit of retry, timeout and quarantine as well as of
+        checkpointing, so health records and quarantine reports refer to them by
+        id; this is the reverse lookup.
+        """
+        for s in self.shards:
+            if s.shard_id == shard_id:
+                return s
+        raise ReproError(f"plan has no shard {shard_id}")
+
     def to_dict(self) -> dict[str, Any]:
         return {"shard_size": self.shard_size,
                 "units": [u.to_dict() for u in self.units],

@@ -84,6 +84,14 @@ class ShardProgressReporter:
         self._configs_done_session += shard.n_configs
         self._emit(self._render(shard))
 
+    def note(self, line: str) -> None:
+        """Out-of-band executor event (retry, quarantine, fragment heal).
+
+        Rendered verbatim between progress lines; events do not advance the
+        shard/config counters -- a retried shard only counts when it completes.
+        """
+        self._emit(line)
+
     # ------------------------------------------------------------------ rendering
 
     def _render(self, shard: Shard) -> str:

@@ -1,0 +1,104 @@
+"""Deterministic retry policies for shard execution.
+
+A :class:`RetryPolicy` decides how often a failed shard is re-attempted and how long
+to back off between attempts.  The backoff is the classic exponential-with-jitter
+schedule, but *deterministic*: the jitter of retry ``r`` of shard ``s`` under seed
+``k`` is a pure function of ``(k, s, r)``, derived from a blake2b digest.  Two
+consequences the chaos suite asserts:
+
+* the same campaign under the same fault pattern retries on exactly the same
+  schedule every run -- quarantine decisions and health records are reproducible;
+* no ``random``/``numpy`` RNG is ever consulted, so retrying can never perturb the
+  seeded sampling streams (or cached error strings) that the byte-identical-merge
+  contract of :mod:`repro.exec.executors` rests on.
+
+Attempt accounting: a shard is tried at most ``max_retries + 1`` times
+(:attr:`RetryPolicy.max_attempts`); when the last attempt fails, a retry-enabled
+executor quarantines the shard instead of raising, so the rest of the campaign
+completes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+
+__all__ = ["RetryPolicy"]
+
+
+def unit_uniform(*parts: object) -> float:
+    """Deterministic uniform in ``[0, 1)`` from a blake2b digest of ``parts``.
+
+    The shared low-level primitive of the retry and fault-injection machinery:
+    stateless, process-stable (unlike ``hash()``), and independent of every
+    ``random``/``numpy`` stream in the program.
+    """
+    text = ":".join(str(part) for part in parts)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded exponential backoff with deterministic jitter.
+
+    Parameters
+    ----------
+    max_retries:
+        Re-attempts after the first failure (``0`` means fail-once-then-quarantine;
+        the shard is tried at most ``max_retries + 1`` times).
+    base_delay:
+        Backoff before the first retry, in seconds; retry ``r`` backs off up to
+        ``base_delay * 2**r``.
+    max_delay:
+        Ceiling on any single backoff.
+    jitter:
+        Fraction of each backoff that is randomized (``0`` = full deterministic
+        ladder, ``0.5`` = delays uniform in ``(0.5*b, b]``).  The randomization is
+        itself deterministic per ``(seed, shard_id, retry)``.
+    seed:
+        Seed of the jitter stream.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 5.0
+    jitter: float = 0.5
+    seed: int = 2023
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0:
+            raise ReproError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.max_delay < self.base_delay:
+            raise ReproError(f"max_delay ({self.max_delay}) must be >= base_delay "
+                             f"({self.base_delay})")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReproError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total evaluation attempts a shard may consume before quarantine."""
+        return self.max_retries + 1
+
+    def delay(self, shard_id: int, retry: int) -> float:
+        """Backoff in seconds before retry ``retry`` (0-based) of ``shard_id``."""
+        if retry < 0:
+            raise ReproError(f"retry index must be >= 0, got {retry}")
+        backoff = min(self.base_delay * (2.0 ** retry), self.max_delay)
+        if self.jitter == 0.0 or backoff == 0.0:
+            return backoff
+        u = unit_uniform("retry", self.seed, shard_id, retry)
+        return backoff * (1.0 - self.jitter * u)
+
+    def delays(self, shard_id: int) -> tuple[float, ...]:
+        """The full backoff schedule of one shard (length ``max_retries``)."""
+        return tuple(self.delay(shard_id, retry) for retry in range(self.max_retries))
+
+    def to_dict(self) -> dict[str, object]:
+        return {"max_retries": self.max_retries, "base_delay": self.base_delay,
+                "max_delay": self.max_delay, "jitter": self.jitter,
+                "seed": self.seed}

@@ -20,7 +20,11 @@ subsystem (:mod:`repro.exec`) builds on:
   serial and parallel execution extends to the files on disk);
 * **shard fragments** (:func:`save_fragment` / :func:`load_fragment`) -- the rows of
   one completed shard, enough to rebuild its slice of the campaign cache without
-  re-evaluating;
+  re-evaluating.  Every fragment carries a SHA-256 checksum of its canonical row
+  encoding; :func:`load_fragment` verifies it and raises
+  :class:`~repro.core.errors.FragmentIntegrityError` on any damage (truncation,
+  bit rot, value tampering), which is what lets resume *heal* instead of merging
+  corrupt rows;
 * **manifests** (:func:`save_manifest` / :func:`load_manifest`) -- the serialized
   shard plan a checkpoint directory belongs to.
 """
@@ -28,6 +32,7 @@ subsystem (:mod:`repro.exec`) builds on:
 from __future__ import annotations
 
 import gzip
+import hashlib
 import io
 import json
 import math
@@ -37,12 +42,12 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.core.cache import EvaluationCache
-from repro.core.errors import SerializationError
+from repro.core.errors import FragmentIntegrityError, SerializationError
 from repro.core.searchspace import SearchSpace
 
 __all__ = [
     "save_cache", "load_cache",
-    "save_fragment", "load_fragment",
+    "save_fragment", "load_fragment", "fragment_checksum",
     "save_manifest", "load_manifest",
     "atomic_write_json", "read_json",
 ]
@@ -166,9 +171,20 @@ def load_cache(path: str | Path, space: SearchSpace | None = None) -> Evaluation
 # so the files stay standard JSON.
 
 
+def fragment_checksum(encoded_rows: Sequence[Any]) -> str:
+    """SHA-256 digest of a fragment's canonical (JSON-encoded) row list.
+
+    Computed over the compact, sorted-key JSON rendering so the digest is a pure
+    function of the row *values* -- identical at save and load time regardless of
+    how the surrounding payload was formatted on disk.
+    """
+    canonical = json.dumps(encoded_rows, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def save_fragment(path: str | Path, shard: Mapping[str, Any],
                   rows: Sequence[tuple[float, bool, str]]) -> Path:
-    """Atomically persist the rows of one completed shard.
+    """Atomically persist the rows of one completed shard (checksummed).
 
     The only non-finite value a row may carry is ``+inf`` (the failed-launch
     sentinel); NaN or ``-inf`` would come back as ``+inf`` after the JSON round
@@ -186,21 +202,45 @@ def save_fragment(path: str | Path, shard: Mapping[str, Any],
                 f"fragment rows may not contain {value!r} (only finite values "
                 f"or +inf round-trip through {path})")
     payload = {"fragment_version": FRAGMENT_VERSION, "shard": dict(shard),
-               "rows": encoded}
+               "rows": encoded, "checksum": fragment_checksum(encoded)}
     return atomic_write_json(payload, path)
 
 
-def load_fragment(path: str | Path) -> tuple[dict[str, Any], list[tuple[float, bool, str]]]:
+def load_fragment(path: str | Path, verify: bool = True,
+                  ) -> tuple[dict[str, Any], list[tuple[float, bool, str]]]:
     """Read a fragment written by :func:`save_fragment`.
 
     Returns the shard description and the decoded rows (``null`` values become
-    ``math.inf`` again).
+    ``math.inf`` again).  Any damage -- unreadable bytes, malformed payload, or a
+    stale checksum -- raises :class:`~repro.core.errors.FragmentIntegrityError`
+    (a :class:`SerializationError`), the signal the executors treat as "discard
+    and re-execute this shard".  ``verify=False`` skips only the checksum.
     """
     path = Path(path)
-    payload = _expect_payload(read_json(path), path, "shard", "fragment_version",
-                              FRAGMENT_VERSION)
-    rows = [(math.inf if value is None else float(value), bool(valid), str(error))
-            for value, valid, error in payload.get("rows", ())]
+    try:
+        payload = _expect_payload(read_json(path), path, "shard",
+                                  "fragment_version", FRAGMENT_VERSION)
+    except FragmentIntegrityError:
+        raise
+    except SerializationError as exc:
+        # Truncated/garbled bytes and malformed payloads are integrity failures
+        # for a fragment (atomic writes mean they cannot be torn *writes*).
+        raise FragmentIntegrityError(
+            f"fragment {path} is damaged: {exc}") from exc
+    stored = payload.get("checksum")
+    if verify and stored is not None:
+        actual = fragment_checksum(payload.get("rows", []))
+        if actual != stored:
+            raise FragmentIntegrityError(
+                f"fragment {path} fails its checksum (stored {stored[:12]}..., "
+                f"recomputed {actual[:12]}...); its rows were altered on disk and "
+                f"cannot be merged")
+    try:
+        rows = [(math.inf if value is None else float(value), bool(valid), str(error))
+                for value, valid, error in payload.get("rows", ())]
+    except (TypeError, ValueError) as exc:
+        raise FragmentIntegrityError(
+            f"fragment {path} carries undecodable rows: {exc}") from exc
     return dict(payload["shard"]), rows
 
 

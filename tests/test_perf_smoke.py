@@ -80,6 +80,31 @@ def test_sharded_campaign_execution_under_ceiling(benchmarks, gpus):
         f"shard or merge path has likely regressed to per-config dispatch")
 
 
+def test_fault_tolerant_happy_path_overhead_under_ceiling(benchmarks, gpus,
+                                                          tmp_path):
+    # The same 10k-sample campaign with the fault-tolerance layer fully armed
+    # (retry policy, shard timeout, checkpointing with checksummed fragments)
+    # but no fault ever firing.  The machinery's no-fault overhead is a few
+    # dict lookups per shard plus one SHA-256 per fragment; anything that makes
+    # it per-config (or re-hashes rows per retry check) blows the ceiling.
+    from repro.exec import CheckpointStore, RetryPolicy, SerialExecutor, ShardPlanner
+
+    selected = {"hotspot": benchmarks["hotspot"]}
+    gpu = {"RTX_3090": gpus["RTX_3090"]}
+    planner = ShardPlanner(selected, gpu, sample_size=10_000, seed=2023)
+    executor = SerialExecutor(retry_policy=RetryPolicy(max_retries=3),
+                              shard_timeout=600.0)
+    caches, elapsed = _timed(lambda: executor.run(
+        planner.plan(), benchmarks=selected, gpus=gpu,
+        checkpoint=CheckpointStore(tmp_path / "ckpt")))
+    assert len(caches[("hotspot", "RTX_3090")]) == 10_000
+    assert executor.retry_counts == {} and executor.quarantine == []
+    assert elapsed < SHARDED_CAMPAIGN_10K_CEILING_S, (
+        f"fault-tolerant 10k hotspot campaign took {elapsed:.2f}s "
+        f"(ceiling {SHARDED_CAMPAIGN_10K_CEILING_S}s); the retry/checkpoint "
+        f"layer is adding per-config overhead to the no-fault happy path")
+
+
 def test_index_native_tuner_campaign_under_ceiling(benchmarks, gpu_3090):
     # A compressed version of the BENCH_perf tuner campaign: LocalSearch +
     # GreedyILS, 100 seeded runs each of 150 evaluations, replayed against a
