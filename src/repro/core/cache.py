@@ -22,18 +22,39 @@ small spaces, an int->row hash for the huge sampled ones, with aligned float/boo
 ``values``/``failure`` columns.  The table is built lazily in one batch from the dict
 store and kept in sync by :meth:`add`/:meth:`add_observation` (mutations queue and
 flush on the next table access), so both views always answer identically.
+
+Cache formats
+-------------
+Two on-disk formats carry a cache, with one compatibility guarantee between them:
+
+* **JSON** (:mod:`repro.io.cachefile`) is the *interchange* format -- self-describing,
+  diffable, byte-deterministic, and frozen: nothing in this module changes a single
+  byte of it.
+* **Columnar** (:mod:`repro.io.columnar`, :meth:`EvaluationCache.to_columnar` /
+  :meth:`~EvaluationCache.from_columnar`) is the *performance* format: fixed-width
+  little-endian index/value/failure-code columns behind a checksummed header.
+  ``from_columnar(mmap=True)`` opens without rehydrating the observation dictionary
+  -- the :class:`CacheIndexTable` is built straight off the memory-mapped columns and
+  the dict store materialises lazily only when a dictionary-keyed accessor is
+  actually used -- so replay opens are cheap and concurrent readers share pages.
+
+A cache round-tripped through the columnar store serializes back to byte-identical
+JSON (same observations, same ``evaluation_index`` assignment, same error strings),
+which is what lets the two formats coexist under the byte-identity contracts.
 """
 
 from __future__ import annotations
 
 import math
+from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.errors import CacheMissError, ReproError
+from repro.core.errors import (CacheMissError, FragmentIntegrityError, ReproError,
+                               SerializationError)
 from repro.core.problem import TuningProblem
-from repro.core.result import Observation
+from repro.core.result import LazyConfig, Observation
 from repro.core.searchspace import SearchSpace, config_key
 
 __all__ = ["EvaluationCache", "CacheIndexTable"]
@@ -70,6 +91,35 @@ class CacheIndexTable:
         self._sorted_keys: np.ndarray | None = None
         self._sorted_rows: np.ndarray | None = None
 
+    @classmethod
+    def from_columns(cls, cardinality: int, indices: np.ndarray,
+                     values: np.ndarray, failure: np.ndarray) -> "CacheIndexTable":
+        """Build a table directly over existing columns (no per-row staging).
+
+        This is how a memory-mapped columnar cache backs its index table: the
+        ``values``/``failure`` arrays are adopted by reference (they may be
+        read-only mmap views -- :meth:`store` copies on first write), and only
+        the ``index -> row`` structure is materialised here.  ``indices`` must
+        be duplicate-free, which insertion-ordered cache columns are by
+        construction.
+        """
+        table = cls.__new__(cls)
+        indices = np.asarray(indices, dtype=np.int64)
+        n = indices.size
+        table._cardinality = cardinality
+        table._dense = cardinality <= _DENSE_LOOKUP_MAX
+        if table._dense:
+            row_of = np.full(cardinality, -1, dtype=np.int32)
+            row_of[indices] = np.arange(n, dtype=np.int32)
+            table._row_of = row_of
+        else:
+            table._row_of = dict(zip(indices.tolist(), range(n)))
+        table._values = np.asarray(values, dtype=float)
+        table._failure = np.asarray(failure, dtype=bool)
+        table._size = n
+        table._sorted_keys = table._sorted_rows = None
+        return table
+
     def __len__(self) -> int:
         return self._size
 
@@ -84,6 +134,11 @@ class CacheIndexTable:
     def store(self, indices: np.ndarray, values: np.ndarray,
               failure: np.ndarray) -> None:
         """Insert/overwrite many rows at once (aligned arrays, last write wins)."""
+        if indices.size and not self._values.flags.writeable:
+            # Tables built over memory-mapped columns adopt read-only views; the
+            # first mutation promotes them to private writable copies.
+            self._values = self._values.copy()
+            self._failure = self._failure.copy()
         if self._dense and indices.size:
             # Collapse duplicate indices within the batch to their last occurrence
             # before allocating rows, or each duplicate would leak a fresh row.
@@ -177,6 +232,31 @@ class CacheIndexTable:
         return values, failure, found
 
 
+class _LazyColumns:
+    """Columnar rows adopted by a cache but not yet materialised as Observations.
+
+    Holds the (possibly memory-mapped, read-only) index/value/code arrays plus
+    the interned error table of one columnar cache file.  The owning
+    :class:`EvaluationCache` answers ``len``/counters/index-table queries straight
+    off these arrays and only decodes them into :class:`Observation` objects when
+    a dictionary-keyed accessor is actually used.
+    """
+
+    __slots__ = ("indices", "values", "codes", "errors")
+
+    def __init__(self, indices: np.ndarray, values: np.ndarray,
+                 codes: np.ndarray, errors: Sequence[str]):
+        self.indices = indices
+        self.values = values
+        self.codes = codes
+        self.errors = list(errors)
+
+    @property
+    def failure(self) -> np.ndarray:
+        """Per-row ``Observation.is_failure`` flags, straight from the columns."""
+        return (self.codes >= 0) | ~np.isfinite(self.values)
+
+
 class EvaluationCache:
     """Measured runtimes for one benchmark on one (simulated) GPU.
 
@@ -200,27 +280,66 @@ class EvaluationCache:
         self.gpu = gpu
         self.space = space
         self.exhaustive = exhaustive
-        self._entries: dict[tuple, Observation] = {}
+        self._store: dict[tuple, Observation] = {}
+        self._lazy: _LazyColumns | None = None
+        self._num_failures = 0
         self.metadata: dict[str, Any] = {}
         self._index_table: CacheIndexTable | None = None
         self._index_pending: list[Observation] = []
+
+    # ------------------------------------------------------------- lazy dict store
+
+    @property
+    def _entries(self) -> dict[tuple, Observation]:
+        """The dictionary store, materialising adopted columns on first touch."""
+        if self._lazy is not None:
+            self._materialize()
+        return self._store
+
+    def _materialize(self) -> None:
+        from repro.io.columnar import decode_failure_strings
+
+        lazy, self._lazy = self._lazy, None
+        valid, errors = decode_failure_strings(lazy.codes, lazy.errors)
+        space, gpu, benchmark = self.space, self.gpu, self.benchmark
+        store = self._store
+        fast = Observation.fast
+        values = lazy.values.tolist()
+        for row, index in enumerate(lazy.indices.tolist()):
+            obs = fast(LazyConfig(space, index), values[row], bool(valid[row]),
+                       errors[row], row, gpu, benchmark)
+            store[obs.key] = obs
+        # The index table (if already built from these columns) covers every
+        # materialised row, so nothing is queued on ``_index_pending`` here.
 
     # --------------------------------------------------------------------- mutation
 
     def add(self, config: Mapping[str, Any], value: float, valid: bool = True,
             error: str = "") -> None:
         """Store one measurement (overwrites an existing entry for the same config)."""
+        entries = self._entries
         obs = Observation(config=dict(config), value=value if valid else math.inf,
                           valid=valid, error=error,
-                          evaluation_index=len(self._entries),
+                          evaluation_index=len(entries),
                           gpu=self.gpu, benchmark=self.benchmark)
-        self._entries[config_key(config)] = obs
+        key = config_key(config)
+        previous = entries.get(key)
+        if previous is not None:
+            self._num_failures -= previous.is_failure
+        self._num_failures += obs.is_failure
+        entries[key] = obs
         if self._index_table is not None:
             self._index_pending.append(obs)
 
     def add_observation(self, observation: Observation) -> None:
         """Store an existing observation object."""
-        self._entries[observation.key] = observation
+        entries = self._entries
+        key = observation.key
+        previous = entries.get(key)
+        if previous is not None:
+            self._num_failures -= previous.is_failure
+        self._num_failures += observation.is_failure
+        entries[key] = observation
         if self._index_table is not None:
             self._index_pending.append(observation)
 
@@ -249,8 +368,16 @@ class EvaluationCache:
         an attribute check once built) rather than caching the table elsewhere.
         """
         if self._index_table is None:
-            self._index_table = CacheIndexTable(self.space.cardinality)
-            self._index_pending = list(self._entries.values())
+            if self._lazy is not None:
+                # Columnar-backed cache: build the table straight off the mapped
+                # columns.  No observation objects, no dict, no per-row Python.
+                lazy = self._lazy
+                self._index_table = CacheIndexTable.from_columns(
+                    self.space.cardinality, lazy.indices, lazy.values, lazy.failure)
+                self._index_pending = []
+            else:
+                self._index_table = CacheIndexTable(self.space.cardinality)
+                self._index_pending = list(self._store.values())
         if self._index_pending:
             self._flush_index_pending()
         return self._index_table
@@ -258,7 +385,9 @@ class EvaluationCache:
     # ---------------------------------------------------------------------- queries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        if self._lazy is not None:
+            return int(self._lazy.indices.size)
+        return len(self._store)
 
     def __contains__(self, config: Mapping[str, Any]) -> bool:
         return config_key(config) in self._entries
@@ -304,13 +433,18 @@ class EvaluationCache:
 
     @property
     def num_valid(self) -> int:
-        """Number of successful measurements."""
-        return sum(1 for o in self._entries.values() if not o.is_failure)
+        """Number of successful measurements.
+
+        O(1): a running counter maintained by :meth:`add`/:meth:`add_observation`
+        (overwrite-aware), not a scan -- progress and status paths poll these
+        properties once per shard.
+        """
+        return len(self) - self._num_failures
 
     @property
     def num_invalid(self) -> int:
-        """Number of failed configurations stored."""
-        return len(self._entries) - self.num_valid
+        """Number of failed configurations stored (O(1), see :attr:`num_valid`)."""
+        return self._num_failures
 
     # ------------------------------------------------------------------- statistics
 
@@ -486,6 +620,131 @@ class EvaluationCache:
         for od in data.get("observations", ()):
             cache.add_observation(Observation.from_dict(od))
         return cache
+
+    # ------------------------------------------------------- columnar serialization
+
+    def to_columnar(self, path: str | Path) -> Path:
+        """Write this cache as a columnar file (see :mod:`repro.io.columnar`).
+
+        Requires campaign shape -- every observation's ``evaluation_index`` equal
+        to its insertion position and carrying this cache's benchmark/gpu --
+        which is what executors, :meth:`from_dict` on executor output and
+        :meth:`from_columnar` all produce.  A cache assembled by hand from
+        foreign observations cannot round-trip through three columns and is
+        refused with :class:`~repro.core.errors.SerializationError`; use the
+        JSON writer for it.
+        """
+        from repro.io import columnar
+
+        path = Path(path)
+        meta = {
+            "benchmark": self.benchmark,
+            "gpu": self.gpu,
+            "exhaustive": self.exhaustive,
+            "metadata": dict(self.metadata),
+            "space": self.space.to_dict(),
+        }
+        meta["digest"] = columnar.cache_digest(self.benchmark, self.gpu,
+                                               meta["space"])
+        if self._lazy is not None:
+            # Adopted columns re-emit verbatim: a load -> save round trip is
+            # byte-identical without materialising a single observation.
+            lazy = self._lazy
+            columnar.write_columnar(path, "cache", meta,
+                                    {"index": lazy.indices, "value": lazy.values,
+                                     "code": lazy.codes}, lazy.errors)
+            return path
+        observations = list(self._store.values())
+        indices = np.empty(len(observations), dtype=np.int64)
+        plain_rows: list[int] = []
+        plain_configs: list[Mapping[str, Any]] = []
+        for row, obs in enumerate(observations):
+            if (obs.evaluation_index != row or obs.gpu != self.gpu
+                    or obs.benchmark != self.benchmark):
+                raise SerializationError(
+                    f"cache {self.benchmark}/{self.gpu} is not campaign-shaped "
+                    f"(observation {row} carries evaluation_index="
+                    f"{obs.evaluation_index}, gpu={obs.gpu!r}, benchmark="
+                    f"{obs.benchmark!r}); columnar files cannot represent it -- "
+                    f"use the JSON writer")
+            config = obs.config
+            if isinstance(config, LazyConfig):
+                indices[row] = config.space_index
+            else:
+                plain_rows.append(row)
+                plain_configs.append(config)
+        if plain_rows:
+            indices[plain_rows] = self.space.indices_of_configs(plain_configs)
+        codes, errors = columnar.encode_failure_codes(
+            [o.valid for o in observations], [o.error for o in observations])
+        columnar.write_columnar(
+            path, "cache", meta,
+            {"index": indices,
+             "value": np.asarray([o.value for o in observations], dtype=float),
+             "code": codes},
+            errors)
+        return path
+
+    @classmethod
+    def from_columnar(cls, path: str | Path, space: SearchSpace | None = None,
+                      mmap: bool = True, verify: bool = True) -> "EvaluationCache":
+        """Open a columnar cache file; the inverse of :meth:`to_columnar`.
+
+        With ``mmap=True`` (default) the index/value/code columns stay read-only
+        views of the memory-mapped file: the :class:`CacheIndexTable` is built
+        straight off them and the observation dictionary materialises only when a
+        dictionary-keyed accessor is used, so opening for index-native replay
+        costs one header parse -- not one Python object per row.  ``space`` may
+        be supplied to reuse an existing space object, like :meth:`from_dict`.
+        """
+        from repro.io import columnar
+
+        payload = columnar.read_columnar(path, mmap=mmap, verify=verify)
+        if payload.kind != "cache":
+            raise SerializationError(
+                f"{path} is a columnar {payload.kind} file, not a cache")
+        header = payload.header
+        if space is None:
+            space = SearchSpace.from_dict(header["space"])
+        cache = cls(benchmark=header["benchmark"], gpu=header["gpu"], space=space,
+                    exhaustive=bool(header.get("exhaustive", False)))
+        cache.metadata.update(header.get("metadata", {}))
+        cache.attach_columns(payload.columns["index"], payload.columns["value"],
+                              payload.columns["code"], payload.errors)
+        return cache
+
+    @classmethod
+    def from_columns(cls, benchmark: str, gpu: str, space: SearchSpace,
+                     indices: np.ndarray, values: np.ndarray, codes: np.ndarray,
+                     errors: Sequence[str],
+                     exhaustive: bool = False) -> "EvaluationCache":
+        """Build a cache directly over in-memory columns (no per-row inserts).
+
+        The no-decode merge path: executors concatenate shard fragment columns
+        (:func:`repro.io.columnar.concat_fragment_columns`) and adopt the result
+        here, paired with the shard-order space indices of the plan.
+        """
+        cache = cls(benchmark=benchmark, gpu=gpu, space=space,
+                    exhaustive=exhaustive)
+        cache.attach_columns(indices, values, codes, errors)
+        return cache
+
+    def attach_columns(self, indices: np.ndarray, values: np.ndarray,
+                        codes: np.ndarray, errors: Sequence[str]) -> None:
+        if self._store or self._lazy is not None or self._index_table is not None:
+            raise ReproError("columns can only be attached to an empty cache")
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size:
+            lo, hi = int(indices.min()), int(indices.max())
+            if lo < 0 or hi >= self.space.cardinality:
+                raise FragmentIntegrityError(
+                    f"columnar cache {self.benchmark}/{self.gpu} carries space "
+                    f"index {lo if lo < 0 else hi} outside the space's "
+                    f"{self.space.cardinality} configurations")
+        lazy = _LazyColumns(indices, np.asarray(values, dtype=float),
+                            np.asarray(codes, dtype=np.int32), errors)
+        self._lazy = lazy
+        self._num_failures = int(np.count_nonzero(lazy.failure))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"EvaluationCache(benchmark={self.benchmark!r}, gpu={self.gpu!r}, "

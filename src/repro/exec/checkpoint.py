@@ -15,6 +15,15 @@ Layout::
         shard_00000.json     rows of shard 0 (value/valid/error triples, checksummed)
         shard_00001.json     ...
 
+Fragments come in two formats sharing one contract: the JSON files above
+(interchange, the default) and columnar ``shard_*.col`` files
+(:mod:`repro.io.columnar` -- fixed-width value/code columns behind a checksummed
+header, selected with ``fragment_format="columnar"`` / the ``--cache-format`` CLI
+flag).  A directory holds exactly one format; resumes auto-detect it from the
+manifest (or from the fragments already on disk) and refuse a conflicting explicit
+choice rather than mixing.  Row semantics, atomicity, shard validation and damage
+signalling are identical in both, so executors never care which one is underneath.
+
 The store is deliberately dumb: it knows nothing about executors or kernel models,
 only about plans, shards and rows.  Validation is strict -- a manifest that does not
 match the plan being run, or a fragment whose shape disagrees with its shard, raises
@@ -22,7 +31,9 @@ match the plan being run, or a fragment whose shape disagrees with its shard, ra
 data; a fragment whose *bytes* are damaged (truncated, bit-flipped, checksum-stale)
 raises the :class:`~repro.core.errors.FragmentIntegrityError` subclass, which the
 executors treat as "discard and re-execute".  :meth:`CheckpointStore.verify_fragments`
-is the offline form of that check (the ``doctor`` CLI subcommand).
+is the offline form of that check (the ``doctor`` CLI subcommand); it also reports
+stale ``*.tmp`` siblings that a SIGKILL between ``os.open`` and ``os.replace`` can
+leave behind (never read by anything, but litter worth sweeping -- ``doctor --fix``).
 """
 
 from __future__ import annotations
@@ -42,8 +53,17 @@ from repro.io.cachefile import (
     save_fragment,
     save_manifest,
 )
+from repro.io.columnar import (
+    COLUMNAR_SUFFIX,
+    load_columnar_fragment,
+    load_columnar_fragment_columns,
+    save_columnar_fragment,
+)
 
-__all__ = ["CheckpointStore", "benchmark_fingerprint"]
+__all__ = ["CheckpointStore", "benchmark_fingerprint", "FRAGMENT_FORMATS"]
+
+#: Fragment formats a checkpoint directory may hold (one per directory).
+FRAGMENT_FORMATS = ("json", "columnar")
 
 #: Manifest file name inside a checkpoint directory.
 MANIFEST_NAME = "manifest.json"
@@ -76,10 +96,40 @@ class CheckpointStore:
     ----------
     directory:
         Checkpoint directory (created on first write).
+    fragment_format:
+        ``"json"`` (default) or ``"columnar"``; ``None`` auto-detects from the
+        manifest or the fragments already on disk, which is what ``resume`` and
+        ``doctor`` rely on.
     """
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path,
+                 fragment_format: str | None = None):
         self.directory = Path(directory)
+        if fragment_format is not None and fragment_format not in FRAGMENT_FORMATS:
+            raise ValueError(
+                f"fragment_format must be one of {FRAGMENT_FORMATS}, "
+                f"got {fragment_format!r}")
+        self._fragment_format = fragment_format
+
+    @property
+    def fragment_format(self) -> str:
+        """The directory's fragment format, resolved once per store.
+
+        An explicit constructor choice wins; otherwise the manifest's recorded
+        format, then the presence of ``shard_*.col`` fragments, then ``"json"``.
+        """
+        if self._fragment_format is None:
+            self._fragment_format = self._detect_format()
+        return self._fragment_format
+
+    def _detect_format(self) -> str:
+        if self.has_manifest():
+            recorded = load_manifest(self.manifest_path).get("fragment_format")
+            if recorded in FRAGMENT_FORMATS:
+                return recorded
+        if any(self.directory.glob("shard_*" + COLUMNAR_SUFFIX)):
+            return "columnar"
+        return "json"
 
     # ------------------------------------------------------------------- manifest
 
@@ -122,16 +172,39 @@ class CheckpointStore:
                         f"different definitions of {sorted(diverged)} (space or "
                         f"workload changed); its fragments cannot be merged with "
                         f"the current benchmarks")
+            recorded = existing.get("fragment_format")
+            if recorded not in FRAGMENT_FORMATS:
+                recorded = ("columnar"
+                            if any(self.directory.glob("shard_*" + COLUMNAR_SUFFIX))
+                            else "json")
+            if self._fragment_format is not None and self._fragment_format != recorded:
+                raise SerializationError(
+                    f"checkpoint directory {self.directory} holds {recorded} "
+                    f"fragments; it cannot be continued with "
+                    f"fragment_format={self._fragment_format!r} (one format per "
+                    f"directory)")
+            self._fragment_format = recorded
             return
-        save_manifest(self.manifest_path, plan.to_dict(), fingerprints)
+        # Only a non-default format is recorded, keeping the bytes of every
+        # JSON-format manifest identical to what earlier versions wrote.
+        save_manifest(self.manifest_path, plan.to_dict(), fingerprints,
+                      fragment_format=(self.fragment_format
+                                       if self.fragment_format != "json" else None))
 
     # ------------------------------------------------------------------ fragments
 
     def fragment_path(self, shard: Shard) -> Path:
-        return self.directory / shard.fragment_name
+        name = shard.fragment_name
+        if self.fragment_format == "columnar":
+            name = str(Path(name).with_suffix(COLUMNAR_SUFFIX))
+        return self.directory / name
 
     def completed_shard_ids(self, plan: CampaignPlan) -> set[int]:
-        """IDs of plan shards whose fragment is present on disk."""
+        """IDs of plan shards whose fragment is present on disk.
+
+        Stale ``*.tmp`` siblings of interrupted writes never count: only the
+        final fragment name (of the directory's format) marks completion.
+        """
         return {s.shard_id for s in plan.shards if self.fragment_path(s).exists()}
 
     def save_shard(self, shard: Shard,
@@ -141,11 +214,13 @@ class CheckpointStore:
             raise SerializationError(
                 f"shard {shard.shard_id} produced {len(rows)} rows, "
                 f"expected {shard.n_configs}")
+        if self.fragment_format == "columnar":
+            return save_columnar_fragment(self.fragment_path(shard),
+                                          shard.to_dict(), rows)
         return save_fragment(self.fragment_path(shard), shard.to_dict(), rows)
 
-    def load_shard(self, shard: Shard) -> list[tuple[float, bool, str]]:
-        """Load and validate the rows of one completed shard."""
-        meta, rows = load_fragment(self.fragment_path(shard))
+    def _validate_shard_meta(self, shard: Shard, meta: Mapping[str, Any],
+                             n_rows: int) -> None:
         if (meta.get("shard_id") != shard.shard_id
                 or meta.get("benchmark") != shard.benchmark
                 or meta.get("gpu") != shard.gpu
@@ -153,12 +228,36 @@ class CheckpointStore:
                 or meta.get("stop") != shard.stop):
             raise SerializationError(
                 f"fragment {self.fragment_path(shard)} describes shard "
-                f"{meta}, expected {shard.to_dict()}")
-        if len(rows) != shard.n_configs:
+                f"{dict(meta)}, expected {shard.to_dict()}")
+        if n_rows != shard.n_configs:
             raise SerializationError(
-                f"fragment {self.fragment_path(shard)} has {len(rows)} rows, "
+                f"fragment {self.fragment_path(shard)} has {n_rows} rows, "
                 f"expected {shard.n_configs}")
+
+    def load_shard(self, shard: Shard) -> list[tuple[float, bool, str]]:
+        """Load and validate the rows of one completed shard."""
+        loader = (load_columnar_fragment if self.fragment_format == "columnar"
+                  else load_fragment)
+        meta, rows = loader(self.fragment_path(shard))
+        self._validate_shard_meta(shard, meta, len(rows))
         return rows
+
+    def load_shard_columns(self, shard: Shard) -> tuple[Any, Any, list[str]]:
+        """Load one columnar shard as raw ``(values, codes, errors)`` columns.
+
+        The no-decode form the executors' merge concatenates
+        (:func:`repro.io.columnar.concat_fragment_columns`); validation matches
+        :meth:`load_shard` exactly.  Only meaningful for columnar directories.
+        """
+        if self.fragment_format != "columnar":
+            raise SerializationError(
+                f"checkpoint directory {self.directory} holds "
+                f"{self.fragment_format} fragments; load_shard_columns requires "
+                f"the columnar format")
+        meta, values, codes, errors = load_columnar_fragment_columns(
+            self.fragment_path(shard))
+        self._validate_shard_meta(shard, meta, int(values.size))
+        return values, codes, errors
 
     def verify_fragments(self, plan: CampaignPlan | None = None) -> dict[str, Any]:
         """Full integrity sweep of every fragment against the manifest (doctor).
@@ -167,6 +266,10 @@ class CheckpointStore:
         ``missing`` (no fragment -- normal for an interrupted campaign), or
         ``damaged`` (present but unreadable, checksum-stale, or describing the
         wrong shard).  Damaged fragments are exactly what ``resume`` re-executes.
+        The result also lists ``stale_tmp``: leftover ``*.tmp`` siblings of
+        writes that were SIGKILLed between ``os.open`` and ``os.replace`` --
+        never read by anything, but litter that accumulates until swept
+        (``doctor --fix`` / :meth:`sweep_stale_tmp`).
         """
         if plan is None:
             plan = self.load_plan()
@@ -187,7 +290,21 @@ class CheckpointStore:
             else:
                 ok.append(shard.shard_id)
         return {"ok": ok, "missing": missing, "damaged": damaged,
-                "shards_total": len(plan.shards)}
+                "shards_total": len(plan.shards),
+                "stale_tmp": [str(p) for p in self.stale_tmp_files()]}
+
+    def stale_tmp_files(self) -> list[Path]:
+        """Leftover ``*.tmp`` siblings of interrupted atomic writes (sorted)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(p for p in self.directory.glob("*.tmp") if p.is_file())
+
+    def sweep_stale_tmp(self) -> list[Path]:
+        """Remove every stale ``*.tmp`` file; returns the paths removed."""
+        swept = self.stale_tmp_files()
+        for path in swept:
+            path.unlink(missing_ok=True)
+        return swept
 
     # --------------------------------------------------------------------- health
 

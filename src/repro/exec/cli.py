@@ -21,9 +21,17 @@ Subcommands
     Show per-unit completion of a checkpoint directory, plus its retry/quarantine
     history.
 ``doctor``
-    Integrity-check every fragment of a checkpoint directory against its manifest;
-    ``--fix`` deletes the damaged ones so ``resume`` re-executes exactly those
-    shards.
+    Integrity-check every fragment of a checkpoint directory against its manifest
+    and report stale ``*.tmp`` litter left by interrupted writes; ``--fix``
+    deletes the damaged fragments (so ``resume`` re-executes exactly those
+    shards) and sweeps the litter.
+
+``run`` and ``resume`` accept ``--cache-format {json,columnar}``: ``json`` (the
+default) keeps today's interchange files byte-for-byte; ``columnar`` stores
+checkpoint fragments and ``--output-dir`` caches in the binary memory-mappable
+format of :mod:`repro.io.columnar` (identical values, ~order-of-magnitude faster
+replay opens).  A checkpoint directory holds one format; ``resume`` auto-detects
+it.
 
 Fault tolerance: ``run`` and ``resume`` accept ``--max-retries N`` (retry transient
 shard failures on a deterministic backoff schedule, then quarantine instead of
@@ -174,9 +182,19 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
                              "workers (overrides REPRO_MEMOIZE_THRESHOLD; default: "
                              "the space's own threshold)")
     parser.add_argument("--output-dir", default=None, metavar="DIR",
-                        help="write merged caches as <benchmark>_<gpu>.json[.gz] here")
+                        help="write merged caches as <benchmark>_<gpu>.json[.gz] "
+                             "(or .col) here")
     parser.add_argument("--compress", action="store_true",
-                        help="gzip the cache files written to --output-dir")
+                        help="gzip the cache files written to --output-dir "
+                             "(JSON format only)")
+    parser.add_argument("--cache-format", default=None,
+                        choices=("json", "columnar"), metavar="FMT",
+                        help="on-disk format of checkpoint fragments and "
+                             "--output-dir caches: 'json' (interchange, the "
+                             "default) or 'columnar' (binary memory-mappable "
+                             "columns, see repro.io.columnar).  resume "
+                             "auto-detects the checkpoint's format when omitted "
+                             "and refuses a conflicting choice")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-shard progress lines")
     parser.add_argument("--max-retries", type=int, default=None, metavar="N",
@@ -312,9 +330,21 @@ def _print_plan_table(plan, out) -> None:
           f"(shard size {plan.shard_size})", file=out)
 
 
-def _write_caches(caches, output_dir: str, compress: bool, out) -> None:
+def _write_caches(caches, output_dir: str, compress: bool, out,
+                  cache_format: str | None = None) -> None:
     from repro.io.cachefile import save_cache
+    from repro.io.columnar import COLUMNAR_SUFFIX
 
+    if cache_format == "columnar":
+        if compress:
+            raise ReproError("--compress applies to JSON cache files only; "
+                             "columnar files are binary and uncompressed")
+        directory = Path(output_dir)
+        for (benchmark, gpu), cache in caches.items():
+            path = cache.to_columnar(
+                directory / f"{benchmark}_{gpu}{COLUMNAR_SUFFIX}")
+            print(f"wrote {path} ({len(cache)} entries)", file=out)
+        return
     suffix = ".json.gz" if compress else ".json"
     directory = Path(output_dir)
     for (benchmark, gpu), cache in caches.items():
@@ -337,11 +367,14 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         if args.command == "run":
             planner = _planner_from_args(args)
             executor = _make_executor(args)
+            checkpoint = (CheckpointStore(args.checkpoint_dir,
+                                          fragment_format=args.cache_format)
+                          if args.checkpoint_dir else None)
             try:
                 with _sigterm_as_interrupt():
                     caches = executor.run(
                         planner.plan(), benchmarks=planner.benchmarks,
-                        gpus=planner.gpus, checkpoint=args.checkpoint_dir,
+                        gpus=planner.gpus, checkpoint=checkpoint,
                         progress=progress)
             except KeyboardInterrupt:
                 _print_interrupted(args.checkpoint_dir, out)
@@ -349,7 +382,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             # Persist before summarising: a summary hiccup must never discard a
             # completed campaign's caches.
             if args.output_dir:
-                _write_caches(caches, args.output_dir, args.compress, out)
+                _write_caches(caches, args.output_dir, args.compress, out,
+                              args.cache_format)
             for (benchmark, gpu), cache in caches.items():
                 best = (f"best {cache.optimum():.4f} ms" if cache.num_valid
                         else "no valid entries")
@@ -358,16 +392,20 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
 
         if args.command == "resume":
             executor = _make_executor(args)
+            # No explicit --cache-format means "whatever the directory holds";
+            # an explicit one is a claim the store verifies against the manifest.
+            store = CheckpointStore(args.checkpoint_dir,
+                                    fragment_format=args.cache_format)
             try:
                 with _sigterm_as_interrupt():
-                    caches = resume_campaign(args.checkpoint_dir,
-                                             executor=executor,
+                    caches = resume_campaign(store, executor=executor,
                                              progress=progress)
             except KeyboardInterrupt:
                 _print_interrupted(args.checkpoint_dir, out)
                 return EXIT_INTERRUPTED
             if args.output_dir:
-                _write_caches(caches, args.output_dir, args.compress, out)
+                _write_caches(caches, args.output_dir, args.compress, out,
+                              args.cache_format or store.fragment_format)
             for (benchmark, gpu), cache in caches.items():
                 print(f"{benchmark}/{gpu}: {len(cache)} entries", file=out)
             return _print_quarantine(executor, out)
@@ -380,21 +418,28 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             report = store.verify_fragments()
             print(f"{len(report['ok'])} ok, {len(report['missing'])} missing, "
                   f"{len(report['damaged'])} damaged "
-                  f"(of {report['shards_total']} shards)", file=out)
+                  f"(of {report['shards_total']} shards), "
+                  f"{len(report['stale_tmp'])} stale tmp file(s)", file=out)
             for record in report["damaged"]:
                 print(f"damaged shard {record['shard_id']:>5} "
                       f"[{record['benchmark']}/{record['gpu']}]: "
                       f"{record['error']}", file=out)
-            if not report["damaged"]:
+            for tmp in report["stale_tmp"]:
+                print(f"stale tmp {tmp} (leftover of an interrupted write; "
+                      f"never read, safe to delete)", file=out)
+            if not report["damaged"] and not report["stale_tmp"]:
                 return 0
             if not args.fix:
-                print("run again with --fix to delete the damaged fragments, "
-                      "then `resume` re-executes exactly those shards", file=out)
+                print("run again with --fix to delete the damaged fragments "
+                      "(resume then re-executes exactly those shards) and sweep "
+                      "the stale tmp litter", file=out)
                 return 1
             for record in report["damaged"]:
                 Path(record["path"]).unlink(missing_ok=True)
                 print(f"deleted {record['path']}; shard {record['shard_id']} "
                       f"will re-execute on resume", file=out)
+            for tmp in store.sweep_stale_tmp():
+                print(f"swept {tmp}", file=out)
             return 0
 
         if args.command == "status":

@@ -341,7 +341,10 @@ class Executor(abc.ABC):
 
         units_by_key = {u.key: u for u in units}
         rows_by_shard: dict[int, list[tuple[float, bool, str]]] = {}
+        columns_by_shard: dict[int, tuple[np.ndarray, np.ndarray, list[str]]] = {}
         configs_by_shard: dict[int, list[Mapping[str, Any]]] = {}
+        columnar_checkpoint = (checkpoint is not None
+                               and checkpoint.fragment_format == "columnar")
         tasks: list[_ShardTask] = []
         selected_shards: list[Shard] = []
         heal_notes: list[str] = []
@@ -351,7 +354,14 @@ class Executor(abc.ABC):
             selected_shards.append(shard)
             if shard.shard_id in done:
                 try:
-                    rows_by_shard[shard.shard_id] = checkpoint.load_shard(shard)
+                    if columnar_checkpoint:
+                        # Columnar fragments stay columns end to end: no row
+                        # decode here, and none in the merge either when every
+                        # shard of the unit came off disk.
+                        columns_by_shard[shard.shard_id] = (
+                            checkpoint.load_shard_columns(shard))
+                    else:
+                        rows_by_shard[shard.shard_id] = checkpoint.load_shard(shard)
                     continue
                 except SerializationError as exc:
                     # Heal instead of dying: a fragment that is damaged (or
@@ -427,7 +437,7 @@ class Executor(abc.ABC):
             withheld = {(r["benchmark"], r["gpu"]) for r in self.quarantine}
             units = [u for u in units if u.key not in withheld]
         return self._merge(plan, units, benchmarks, gpus, indices_by_unit,
-                           rows_by_shard, configs_by_shard)
+                           rows_by_shard, configs_by_shard, columns_by_shard)
 
     # --------------------------------------------------------------------- merge
 
@@ -437,20 +447,52 @@ class Executor(abc.ABC):
                indices_by_unit: Mapping[tuple[str, str], np.ndarray],
                rows_by_shard: Mapping[int, list[tuple[float, bool, str]]],
                configs_by_shard: Mapping[int, list[Mapping[str, Any]]],
+               columns_by_shard: Mapping[int, tuple[np.ndarray, np.ndarray,
+                                                    list[str]]] | None = None,
                ) -> dict[tuple[str, str], EvaluationCache]:
-        """Merge shard rows into campaign caches, in serial insertion order."""
+        """Merge shard rows into campaign caches, in serial insertion order.
+
+        ``plan.shards_of`` yields shards sorted by start offset -- evaluation
+        order, never completion order -- which is what makes the merge (and the
+        bytes of anything serialized from it) independent of scheduling.
+
+        A unit whose every shard was loaded as columnar fragment columns merges
+        without decoding a single row: the value/code columns are concatenated in
+        shard order with one error-table re-intern
+        (:func:`repro.io.columnar.concat_fragment_columns`) and adopted by the
+        cache wholesale.  Any freshly-executed shard in the unit falls back to
+        the per-row path, whose inserted observations are identical by
+        construction.
+        """
+        columns_by_shard = columns_by_shard or {}
         caches: dict[tuple[str, str], EvaluationCache] = {}
         for unit in units:
             benchmark = benchmarks[unit.benchmark]
             gpu = gpus[unit.gpu]
             cache = benchmark.new_cache(gpu, sample_size=unit.sample_size)
             indices = indices_by_unit[unit.key]
-            for shard in plan.shards_of(unit):
+            shards = plan.shards_of(unit)
+            if (columns_by_shard
+                    and all(s.shard_id in columns_by_shard for s in shards)):
+                from repro.io.columnar import concat_fragment_columns
+                values, codes, errors = concat_fragment_columns(
+                    [columns_by_shard[s.shard_id] for s in shards])
+                cache.attach_columns(indices, values, codes, errors)
+                caches[unit.key] = cache
+                continue
+            for shard in shards:
                 configs = configs_by_shard.get(shard.shard_id)
                 if configs is None:
                     configs = benchmark.space.configs_at(
                         indices[shard.start:shard.stop])
-                rows = rows_by_shard[shard.shard_id]
+                columns = columns_by_shard.get(shard.shard_id)
+                if columns is not None:
+                    from repro.io.columnar import decode_failure_strings
+                    col_values, col_codes, col_errors = columns
+                    valid, errors = decode_failure_strings(col_codes, col_errors)
+                    rows = list(zip(col_values.tolist(), valid.tolist(), errors))
+                else:
+                    rows = rows_by_shard[shard.shard_id]
                 for config, (value, valid, error) in zip(configs, rows):
                     cache.add(config, value, valid=valid, error=error)
             caches[unit.key] = cache

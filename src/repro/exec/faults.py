@@ -40,6 +40,7 @@ run (or the affected unit is quarantined deterministically).
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -52,6 +53,7 @@ from repro.core.errors import (
     WorkerCrashError,
 )
 from repro.exec.retry import unit_uniform
+from repro.io.columnar import COLUMNAR_MAGIC, peek_columnar_header
 
 __all__ = ["Fault", "FaultPlan", "corrupt_fragment",
            "WORKER_FAULT_KINDS", "FRAGMENT_FAULT_KINDS"]
@@ -191,26 +193,50 @@ def corrupt_fragment(path: str | Path, mode: str = "bitflip") -> Path:
 
     ``truncate`` halves the file (a torn write that bypassed the atomic rename,
     e.g. filesystem loss after a power cut); ``bitflip`` flips one bit mid-file
-    (storage rot); ``tamper`` edits a row value while keeping the JSON valid --
-    the case only the fragment checksum can catch.
+    (storage rot); ``tamper`` edits a row value while keeping the container
+    structurally valid -- the case only the fragment checksum can catch.  All
+    three modes understand both fragment formats: for columnar files, ``tamper``
+    locates the value column through the header directory and rewrites its first
+    float in place, and ``bitflip`` targets the middle of the column data (never
+    header padding, which no checksum covers).
     """
     path = Path(path)
     data = path.read_bytes()
     if not data:
         raise ReproError(f"cannot corrupt empty fragment {path}")
+    columnar = data.startswith(COLUMNAR_MAGIC)
     if mode == "truncate":
         path.write_bytes(data[: len(data) // 2])
     elif mode == "bitflip":
         buffer = bytearray(data)
-        buffer[len(buffer) // 2] ^= 0x01
+        if columnar:
+            # Flip inside the first column's data so the damage is always under
+            # a checksum (mid-file could land in inter-column zero padding).
+            entry = peek_columnar_header(path)["columns"][0]
+            target = int(entry["offset"]) + int(entry["nbytes"]) // 2
+        else:
+            target = len(buffer) // 2
+        buffer[target] ^= 0x01
         path.write_bytes(bytes(buffer))
     elif mode == "tamper":
-        payload = json.loads(data.decode("utf-8"))
-        rows = payload.get("rows")
-        if not rows:
-            raise ReproError(f"fragment {path} has no rows to tamper with")
-        rows[0][0] = 123456.75 if rows[0][0] != 123456.75 else 654321.5
-        path.write_bytes(json.dumps(payload).encode("utf-8"))
+        if columnar:
+            header = peek_columnar_header(path)
+            entry = next(e for e in header["columns"] if e["name"] == "value")
+            if int(entry["nbytes"]) < 8:
+                raise ReproError(f"fragment {path} has no rows to tamper with")
+            offset = int(entry["offset"])
+            current = struct.unpack_from("<d", data, offset)[0]
+            buffer = bytearray(data)
+            struct.pack_into("<d", buffer, offset,
+                             123456.75 if current != 123456.75 else 654321.5)
+            path.write_bytes(bytes(buffer))
+        else:
+            payload = json.loads(data.decode("utf-8"))
+            rows = payload.get("rows")
+            if not rows:
+                raise ReproError(f"fragment {path} has no rows to tamper with")
+            rows[0][0] = 123456.75 if rows[0][0] != 123456.75 else 654321.5
+            path.write_bytes(json.dumps(payload).encode("utf-8"))
     else:
         raise ReproError(f"unknown corruption mode {mode!r}; "
                          f"expected one of {FRAGMENT_FAULT_KINDS}")

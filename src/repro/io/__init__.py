@@ -4,9 +4,18 @@ The BAT project distributes its measurement campaigns as JSON cache files so tha
 search-algorithm research can run without a GPU.  This subpackage mirrors that:
 campaign caches and tuning results serialize to JSON (optionally gzip-compressed), and
 load back into the same objects the analysis layer consumes.
+
+JSON is the *interchange* format; :mod:`repro.io.columnar` adds the binary
+*performance* format (fixed-width memory-mappable columns) for replay-scale opens
+and zero-decode fragment merges.  See the module docstrings for the compatibility
+guarantee between the two.
 """
 
 from repro.io.cachefile import save_cache, load_cache
+from repro.io.columnar import (COLUMNAR_SUFFIX, read_columnar, write_columnar,
+                               peek_columnar_header)
 from repro.io.results_io import save_results, load_results
 
-__all__ = ["save_cache", "load_cache", "save_results", "load_results"]
+__all__ = ["save_cache", "load_cache", "save_results", "load_results",
+           "COLUMNAR_SUFFIX", "read_columnar", "write_columnar",
+           "peek_columnar_header"]

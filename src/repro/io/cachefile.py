@@ -108,11 +108,30 @@ def atomic_write_json(payload: Any, path: str | Path) -> Path:
     return path
 
 
+#: First two bytes of every gzip member (RFC 1952).
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
 def read_json(path: str | Path) -> Any:
-    """Read a JSON payload written by :func:`atomic_write_json`."""
+    """Read a JSON payload written by :func:`atomic_write_json`.
+
+    Compression is detected by content, not by suffix: the first two bytes are
+    sniffed for the gzip magic (``1f 8b``), so a gzipped file with a wrong or
+    odd-cased extension still reads correctly instead of dying with a misleading
+    decode error.  A file whose ``.gz`` suffix *promises* gzip but whose bytes
+    are not raises a :class:`SerializationError` naming the mismatch.
+    """
     path = Path(path)
     try:
-        if path.suffix == ".gz":
+        with open(path, "rb") as handle:
+            magic = handle.read(len(_GZIP_MAGIC))
+        gzipped = magic == _GZIP_MAGIC
+        if path.suffix.lower() == ".gz" and not gzipped:
+            raise SerializationError(
+                f"{path} has a .gz suffix but does not start with the gzip "
+                f"magic bytes (found {magic!r}); the file is mislabelled or "
+                f"was damaged on disk")
+        if gzipped:
             with gzip.open(path, "rt", encoding="utf-8") as handle:
                 return json.load(handle)
         with open(path, "r", encoding="utf-8") as handle:
@@ -248,27 +267,35 @@ def load_fragment(path: str | Path, verify: bool = True,
 
 
 def save_manifest(path: str | Path, plan: Mapping[str, Any],
-                  fingerprints: Mapping[str, str] | None = None) -> Path:
+                  fingerprints: Mapping[str, str] | None = None,
+                  fragment_format: str | None = None) -> Path:
     """Atomically persist the shard plan a checkpoint directory belongs to.
 
     ``fingerprints`` (benchmark name -> digest of its space + workload) pins the
     exact benchmark definitions the fragments were evaluated against, so a resume
     with diverged definitions is refused instead of silently merging wrong rows.
+    ``fragment_format`` records a non-default fragment format (``"columnar"``);
+    ``None`` omits the key, which keeps default-format manifests byte-identical
+    to those written before the columnar store existed.
     """
     payload = {"manifest_version": MANIFEST_VERSION, "plan": dict(plan),
                "fingerprints": dict(fingerprints or {})}
+    if fragment_format is not None:
+        payload["fragment_format"] = str(fragment_format)
     return atomic_write_json(payload, path)
 
 
 def load_manifest(path: str | Path) -> dict[str, Any]:
     """Read a manifest written by :func:`save_manifest`.
 
-    Returns a dict with ``"plan"`` (the serialized shard plan) and
-    ``"fingerprints"`` (possibly empty, for manifests written before the digests
-    existed).
+    Returns a dict with ``"plan"`` (the serialized shard plan), ``"fingerprints"``
+    (possibly empty, for manifests written before the digests existed) and
+    ``"fragment_format"`` (None when the manifest predates the columnar store or
+    holds the default JSON fragments).
     """
     path = Path(path)
     payload = _expect_payload(read_json(path), path, "plan", "manifest_version",
                               MANIFEST_VERSION)
     return {"plan": dict(payload["plan"]),
-            "fingerprints": dict(payload.get("fingerprints", {}))}
+            "fingerprints": dict(payload.get("fingerprints", {})),
+            "fragment_format": payload.get("fragment_format")}

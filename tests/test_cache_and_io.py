@@ -235,3 +235,69 @@ class TestResultFiles:
     def test_load_missing(self, tmp_path):
         with pytest.raises(SerializationError):
             load_results(tmp_path / "missing.json")
+
+
+class TestGzipSniffing:
+    """Compression is detected by content (the ``1f 8b`` magic), never by suffix."""
+
+    def test_gzipped_file_with_plain_suffix_reads(self, toy_cache, tmp_path):
+        gz = save_cache(toy_cache, tmp_path / "toy.json.gz")
+        disguised = tmp_path / "toy.json"
+        disguised.write_bytes(gz.read_bytes())
+        restored = load_cache(disguised)
+        assert len(restored) == len(toy_cache)
+
+    def test_gzipped_file_with_odd_cased_suffix_reads(self, toy_cache, tmp_path):
+        gz = save_cache(toy_cache, tmp_path / "toy.json.gz")
+        odd = tmp_path / "toy.json.GZ"
+        odd.write_bytes(gz.read_bytes())
+        restored = load_cache(odd)
+        assert len(restored) == len(toy_cache)
+
+    def test_mislabelled_gz_names_the_mismatch(self, toy_cache, tmp_path):
+        plain = save_cache(toy_cache, tmp_path / "toy.json")
+        liar = tmp_path / "toy.json.gz"
+        liar.write_bytes(plain.read_bytes())
+        with pytest.raises(SerializationError, match="gzip magic"):
+            load_cache(liar)
+
+
+class TestFailureCounters:
+    """``num_valid``/``num_invalid`` are O(1) running counters, kept exact by ``add``."""
+
+    def _scan(self, cache):
+        failures = sum(1 for obs in cache.observations if obs.is_failure)
+        return len(cache) - failures, failures
+
+    def test_counters_match_scan(self, toy_cache):
+        assert (toy_cache.num_valid, toy_cache.num_invalid) == self._scan(toy_cache)
+        toy_cache.add({"x": 1, "y": 2}, math.inf, valid=False, error="oom")
+        assert (toy_cache.num_valid, toy_cache.num_invalid) == self._scan(toy_cache)
+
+    def test_overwrite_valid_with_invalid(self, toy_cache):
+        config = {"x": 1, "y": 1}
+        assert not toy_cache.lookup(config).is_failure
+        toy_cache.add(config, math.inf, valid=False, error="oom")
+        assert (toy_cache.num_valid, toy_cache.num_invalid) == self._scan(toy_cache)
+        assert toy_cache.num_invalid == 1
+
+    def test_overwrite_invalid_with_valid(self, toy_cache):
+        config = {"x": 2, "y": 2}
+        toy_cache.add(config, math.inf, valid=False, error="oom")
+        toy_cache.add(config, 4.0, valid=True)
+        assert (toy_cache.num_valid, toy_cache.num_invalid) == self._scan(toy_cache)
+        assert toy_cache.num_invalid == 0
+
+    def test_overwrite_invalid_with_invalid(self, toy_cache):
+        config = {"x": 3, "y": 1}
+        toy_cache.add(config, math.inf, valid=False, error="oom")
+        toy_cache.add(config, math.inf, valid=False, error="timeout")
+        assert (toy_cache.num_valid, toy_cache.num_invalid) == self._scan(toy_cache)
+        assert toy_cache.num_invalid == 1
+
+    def test_counters_survive_dict_round_trip(self, toy_cache):
+        toy_cache.add({"x": 1, "y": 2}, math.inf, valid=False, error="oom")
+        restored = EvaluationCache.from_dict(toy_cache.to_dict(),
+                                             space=toy_cache.space)
+        assert restored.num_valid == toy_cache.num_valid
+        assert restored.num_invalid == toy_cache.num_invalid

@@ -30,7 +30,8 @@ SHARDED_CAMPAIGN_10K_CEILING_S = 20.0
 TUNER_CAMPAIGN_CEILING_S = 3.0
 POPULATION_CAMPAIGN_CEILING_S = 3.0
 EVALUATE_INDEX_20K_CEILING_S = 2.0
-HASHED_BATCH_LOOKUP_CEILING_S = 3.0
+HASHED_BATCH_LOOKUP_CEILING_S = 10.0
+CACHE_REPLAY_OPEN_CEILING_S = 2.0
 
 
 def _timed(fn):
@@ -223,6 +224,35 @@ def test_hashed_batch_lookup_under_ceiling(benchmarks, gpu_3090):
         f"5M hashed batch lookups took {elapsed:.2f}s "
         f"(ceiling {HASHED_BATCH_LOOKUP_CEILING_S}s); the searchsorted batch path "
         f"has likely regressed to per-probe dictionary lookups")
+
+
+def test_columnar_replay_open_under_ceiling(benchmarks, gpu_3090, tmp_path):
+    # A compressed version of the BENCH_perf cache_replay_open entry: open a
+    # 20k-row columnar campaign cache and serve index-table probes off the
+    # memory-mapped columns.  The columnar open is header + checksums + an
+    # index-table build over three mapped arrays -- tens of milliseconds; any
+    # regression that rehydrates the observation dictionary on open (the cost
+    # the format exists to avoid) blows the ceiling.
+    from repro.core.cache import EvaluationCache
+
+    cache = benchmarks["hotspot"].build_cache(gpu_3090, sample_size=20_000,
+                                              seed=1)
+    path = cache.to_columnar(tmp_path / "replay.col")
+    probe = cache.space.sample_indices(1_024, rng=7, valid_only=True,
+                                       unique=True)
+
+    def open_and_probe():
+        loaded = EvaluationCache.from_columnar(path, space=cache.space)
+        result = loaded.index_table().lookup(probe)
+        assert loaded._lazy is not None  # probes must not have materialized
+        return result
+
+    (values, failure, found), elapsed = _timed(open_and_probe)
+    assert found.size == probe.size
+    assert elapsed < CACHE_REPLAY_OPEN_CEILING_S, (
+        f"columnar mmap open + 1k probes took {elapsed:.2f}s "
+        f"(ceiling {CACHE_REPLAY_OPEN_CEILING_S}s); the columnar open has "
+        f"likely regressed to eager observation rehydration")
 
 
 def test_exact_constrained_count_gemm_under_ceiling(benchmarks):
