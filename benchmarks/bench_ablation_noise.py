@@ -8,7 +8,6 @@ stable -- i.e. the reproduction's conclusions do not hinge on the injected noise
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import report
 from repro.analysis.campaign import Campaign

@@ -9,7 +9,6 @@ space.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import report
 from repro.analysis.convergence import random_search_convergence

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Sequence
 
-import numpy as np
 
 from repro.analysis.centrality_report import CentralityReport
 from repro.analysis.convergence import ConvergenceCurve

@@ -15,7 +15,7 @@ Table VIII reports, per benchmark:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.analysis.importance import ImportanceReport, important_parameters
 from repro.core.cache import EvaluationCache

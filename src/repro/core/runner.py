@@ -9,9 +9,8 @@ is therefore reproducible from a (tuner, problem, budget, seed) quadruple.
 from __future__ import annotations
 
 import pickle
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Mapping
 
-import numpy as np
 
 from repro.core.budget import Budget
 from repro.core.errors import ReproError

@@ -797,10 +797,11 @@ class ParallelExecutor(Executor):
                 if reply[0] == "ok":
                     try:
                         on_complete(worker.finish().shard, reply[1])
+                    # repro: allow[RPL004] interrupt teardown: the fragment (saved
+                    # first inside on_complete) is what matters on the way out; a
+                    # raising progress sink must not abort the flush or mask the
+                    # interrupt
                     except Exception:
-                        # The fragment (saved first inside on_complete) is what
-                        # matters on the way out; a raising progress sink must
-                        # not abort the teardown or mask the interrupt.
                         pass
             for worker in workers:
                 worker.retire()

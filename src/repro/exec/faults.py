@@ -206,6 +206,7 @@ def corrupt_fragment(path: str | Path, mode: str = "bitflip") -> Path:
         raise ReproError(f"cannot corrupt empty fragment {path}")
     columnar = data.startswith(COLUMNAR_MAGIC)
     if mode == "truncate":
+        # repro: allow[RPL003] deliberate in-place damage: this is the fault injector
         path.write_bytes(data[: len(data) // 2])
     elif mode == "bitflip":
         buffer = bytearray(data)
@@ -217,6 +218,7 @@ def corrupt_fragment(path: str | Path, mode: str = "bitflip") -> Path:
         else:
             target = len(buffer) // 2
         buffer[target] ^= 0x01
+        # repro: allow[RPL003] deliberate in-place damage: this is the fault injector
         path.write_bytes(bytes(buffer))
     elif mode == "tamper":
         if columnar:
@@ -229,6 +231,7 @@ def corrupt_fragment(path: str | Path, mode: str = "bitflip") -> Path:
             buffer = bytearray(data)
             struct.pack_into("<d", buffer, offset,
                              123456.75 if current != 123456.75 else 654321.5)
+            # repro: allow[RPL003] deliberate in-place damage: this is the fault injector
             path.write_bytes(bytes(buffer))
         else:
             payload = json.loads(data.decode("utf-8"))
@@ -236,6 +239,7 @@ def corrupt_fragment(path: str | Path, mode: str = "bitflip") -> Path:
             if not rows:
                 raise ReproError(f"fragment {path} has no rows to tamper with")
             rows[0][0] = 123456.75 if rows[0][0] != 123456.75 else 654321.5
+            # repro: allow[RPL003] deliberate in-place damage: this is the fault injector
             path.write_bytes(json.dumps(payload).encode("utf-8"))
     else:
         raise ReproError(f"unknown corruption mode {mode!r}; "

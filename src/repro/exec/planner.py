@@ -25,7 +25,7 @@ assert and the checkpoint/resume machinery relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 

@@ -11,7 +11,7 @@ family and poorly across families.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["GPUSpec", "all_gpus", "RTX_2080_TI", "RTX_3060", "RTX_3090", "RTX_TITAN"]

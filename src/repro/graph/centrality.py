@@ -11,10 +11,9 @@ value near 0 means most basins of attraction lead to poor minima (hard landscape
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from repro.core.cache import EvaluationCache
 from repro.core.errors import ReproError

@@ -23,7 +23,7 @@ dictionaries, no Python inner loops.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any
 
 import numpy as np
 from scipy import sparse

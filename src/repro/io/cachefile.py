@@ -93,8 +93,12 @@ def atomic_write_json(payload: Any, path: str | Path) -> Path:
     # O_CREAT with mode 0o666 lets the kernel apply the caller's umask atomically
     # (mkstemp's 0600 would make shared cache directories unreadable to teammates,
     # and probing the umask is a process-global race).
+    # repro: allow[RPL001] tmp-file names are non-semantic (never persisted, never
+    # hashed); entropy here only avoids collisions between concurrent writers
     tmp_name = str(path.parent / f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
     try:
+        # repro: allow[RPL003] this IS the atomic-write implementation every other
+        # write goes through (tmp sibling + os.replace)
         fd = os.open(tmp_name, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o666)
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)

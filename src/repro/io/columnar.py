@@ -232,8 +232,12 @@ def write_columnar(path: str | Path, kind: str, meta: Mapping[str, Any],
     path.parent.mkdir(parents=True, exist_ok=True)
     # Same atomic-sibling discipline as atomic_write_json (and the same umask
     # rationale for O_CREAT 0o666 over mkstemp).
+    # repro: allow[RPL001] tmp-file names are non-semantic (never persisted, never
+    # hashed); entropy here only avoids collisions between concurrent writers
     tmp_name = str(path.parent / f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
     try:
+        # repro: allow[RPL003] this IS the atomic-write implementation (columnar
+        # twin of atomic_write_json: tmp sibling + os.replace)
         fd = os.open(tmp_name, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o666)
         with os.fdopen(fd, "wb") as handle:
             handle.write(bytes(buffer))

@@ -9,7 +9,7 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.core.errors import SerializationError
 from repro.core.result import TuningResult

@@ -20,7 +20,6 @@ the open registry of :mod:`repro.core.registry` as picklable
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
 
 from repro.kernels.base import KernelBenchmark, Workload
 

@@ -21,7 +21,7 @@ from repro.core.parameter import Parameter
 from repro.core.searchspace import SearchSpace
 from repro.gpus.memory import MemoryTraffic, vector_access_efficiency
 from repro.gpus.occupancy import OccupancyResult
-from repro.gpus.perfmodel import AnalyticalKernelModel, KernelLaunchConfig, ilp_factor
+from repro.gpus.perfmodel import AnalyticalKernelModel, KernelLaunchConfig
 from repro.gpus.specs import GPUSpec
 from repro.kernels.base import KernelBenchmark, Workload
 from repro.kernels.reference import gemm_reference

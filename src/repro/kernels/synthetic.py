@@ -35,6 +35,8 @@ what keeps serial and parallel campaign caches byte-identical.
 from __future__ import annotations
 
 import math
+# repro: allow[RPL001] only seeded random.Random(stable_hash(...)) instances are
+# built below; the module-level global-state functions are never called
 import random
 from typing import Any, Mapping, Sequence
 

@@ -1,0 +1,92 @@
+"""The committed baseline: grandfathered findings, each with a recorded reason.
+
+A baseline entry matches findings by :func:`repro.lint.findings.fingerprint` --
+content-anchored, so entries survive line drift but expire the moment the flagged
+line is edited.  The file is JSON with sorted entries and stable key order, written
+through the repo's atomic-write helper, so regenerating it on an unchanged tree is a
+byte-level no-op (the same discipline the cache files follow).
+
+Workflow: ``python -m repro.lint src/repro --write-baseline`` snapshots the current
+findings (preserving reasons of entries that still match, stamping ``TODO: justify``
+on new ones -- fill those in before committing).  A baseline entry should say *why*
+the finding is acceptable, not just that it is old.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.io.cachefile import atomic_write_json, read_json
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+#: Looked up in the current directory when ``--baseline`` is not given.
+DEFAULT_BASELINE_NAME = "lint_baseline.json"
+
+BASELINE_VERSION = 1
+
+_TODO_REASON = "TODO: justify this grandfathered finding"
+
+
+class Baseline:
+    """Fingerprint-keyed set of grandfathered findings."""
+
+    def __init__(self, entries: Mapping[str, dict[str, object]] | None = None):
+        self.entries: dict[str, dict[str, object]] = dict(entries or {})
+        self.matched: set[str] = set()
+
+    # ------------------------------------------------------------------ persistence
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        payload = read_json(path)
+        entries = {}
+        for entry in payload.get("findings", []):
+            entries[str(entry["fingerprint"])] = dict(entry)
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      previous: "Baseline | None" = None) -> "Baseline":
+        """Snapshot ``findings``, carrying reasons over from ``previous``."""
+        entries: dict[str, dict[str, object]] = {}
+        for finding in findings:
+            old = previous.entries.get(finding.fingerprint) if previous else None
+            reason = str(old.get("reason", _TODO_REASON)) if old else _TODO_REASON
+            entries[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "code": finding.code,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+                "reason": reason,
+            }
+        return cls(entries)
+
+    def save(self, path: str | Path) -> Path:
+        ordered = sorted(self.entries.values(),
+                         key=lambda e: (e["path"], e["line"], e["code"],
+                                        e["fingerprint"]))
+        # Canonical key order inside each entry: the file must be byte-identical
+        # no matter how the entries were assembled (loaded, snapshotted, edited).
+        canonical = [{key: entry[key] for key in sorted(entry)} for entry in ordered]
+        payload = {"baseline_version": BASELINE_VERSION, "findings": canonical}
+        return atomic_write_json(payload, path)
+
+    # -------------------------------------------------------------------- filtering
+
+    def absorbs(self, finding: Finding) -> bool:
+        """True (and recorded as matched) when ``finding`` is grandfathered."""
+        if finding.fingerprint in self.entries:
+            self.matched.add(finding.fingerprint)
+            return True
+        return False
+
+    def stale_entries(self) -> list[dict[str, object]]:
+        """Entries no match consumed -- the flagged code was fixed or edited."""
+        return sorted((entry for key, entry in self.entries.items()
+                       if key not in self.matched),
+                      key=lambda e: (e["path"], e["line"], e["code"],
+                                     e["fingerprint"]))

@@ -1,0 +1,124 @@
+"""``python -m repro.lint`` -- run the contract checker from the command line.
+
+Exit codes follow the convention of the other repro CLIs:
+
+* ``0`` -- clean (every finding suppressed or baselined);
+* ``1`` -- new, unbaselined findings (printed to stdout);
+* ``2`` -- usage error (bad arguments, missing paths, unreadable baseline).
+
+``--write-baseline`` snapshots the current findings into the baseline file
+(preserving the reasons of entries that still match) and exits 0; commit the file
+after filling in each new entry's reason.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.errors import SerializationError
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.engine import lint_paths, render_json, render_text
+from repro.lint.rules import RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based contract checker: the ROADMAP standing contracts "
+                    "(seeded RNG only, atomic writes, error taxonomy, budget and "
+                    "spec protocols) as enforced lint rules.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (e.g. src/repro)")
+    parser.add_argument("--root", default=".",
+                        help="directory report paths are made relative to "
+                             "(default: current directory)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (json output is byte-deterministic)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE_NAME} under --root, "
+                             f"when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file (report every finding)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="snapshot current findings into the baseline file "
+                             "and exit 0")
+    parser.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run (e.g. "
+                             "RPL001,RPL003); default: all rules")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in RULES:
+        scope = ", ".join(rule.scope) if rule.scope else "all modules"
+        lines.append(f"{rule.code} {rule.name} [{scope}]")
+        lines.append(f"    contract: {rule.contract}")
+        for module, reason in sorted(rule.allowlist.items()):
+            lines.append(f"    allowlisted: {module} -- {reason}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        sys.stdout.write(_list_rules())
+        return 0
+    if not args.paths:
+        parser.error("the following arguments are required: paths")
+
+    root = Path(args.root)
+    if not root.is_dir():
+        parser.error(f"--root {args.root!r} is not a directory")
+
+    select = None
+    if args.select:
+        select = frozenset(code.strip().upper() for code in args.select.split(","))
+        known = {rule.code for rule in RULES}
+        unknown = select - known
+        if unknown:
+            parser.error(f"unknown rule code(s) {sorted(unknown)}; "
+                         f"known: {sorted(known)}")
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    baseline = None
+    if not args.no_baseline and not args.write_baseline and baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except SerializationError as exc:
+            print(f"error: unreadable baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    elif args.baseline and not baseline_path.is_file() and not args.write_baseline:
+        print(f"error: baseline file {baseline_path} does not exist "
+              f"(create it with --write-baseline)", file=sys.stderr)
+        return 2
+
+    try:
+        result = lint_paths(list(args.paths), root, baseline=baseline,
+                            select=select)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        previous = (Baseline.load(baseline_path) if baseline_path.is_file()
+                    else None)
+        snapshot = Baseline.from_findings(result.findings, previous=previous)
+        snapshot.save(baseline_path)
+        print(f"wrote {len(snapshot.entries)} baseline entr"
+              f"{'y' if len(snapshot.entries) == 1 else 'ies'} to {baseline_path}")
+        return 0
+
+    render = render_json if args.format == "json" else render_text
+    sys.stdout.write(render(result))
+    return result.exit_code

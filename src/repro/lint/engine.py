@@ -1,0 +1,222 @@
+"""Discovery, rule execution, suppression/baseline filtering, and reporting.
+
+Everything here is deterministic by construction, matching the repo's byte-identity
+discipline: files are discovered in sorted POSIX-path order, findings sort by
+``(path, line, col, code, message)``, reports carry no timestamps or absolute paths,
+and the JSON reporter emits byte-identical output for the same tree no matter the
+argument order or filesystem enumeration order.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding, fingerprint
+from repro.lint.rules import LintContext, rules_for_module
+from repro.lint.suppressions import scan_suppressions
+
+__all__ = ["LintResult", "discover_files", "lint_file", "lint_paths",
+           "render_text", "render_json"]
+
+#: Meta-code for problems with the lint annotations themselves (reason-less or
+#: unused suppressions, unparsable files).  Not suppressible and never baselined.
+META_CODE = "RPL000"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run (pre-baseline findings are kept for snapshots)."""
+
+    findings: list[Finding] = field(default_factory=list)       # actionable
+    baselined: list[Finding] = field(default_factory=list)      # grandfathered
+    suppressed: list[Finding] = field(default_factory=list)     # inline-annotated
+    stale_baseline: list[dict[str, object]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for finding in self.findings:
+            tally[finding.code] = tally.get(finding.code, 0) + 1
+        return dict(sorted(tally.items()))
+
+
+def discover_files(paths: list[str | Path], root: Path) -> list[Path]:
+    """Resolve ``paths`` to a sorted, duplicate-free list of ``.py`` files.
+
+    Directories are walked recursively.  Sorting happens on the final
+    root-relative POSIX strings, so the result -- and every report built from
+    it -- is independent of argument order and directory enumeration order.
+    """
+    files: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {entry}")
+    return sorted(files, key=lambda p: _relative(p, root))
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def _module_name(rel_path: str) -> str:
+    """Dotted module for a root-relative path, anchored at its last ``repro`` part.
+
+    Files outside any ``repro`` package (fixtures, scripts) get ``""`` -- scoped
+    rules skip them, unscoped rules still run.
+    """
+    parts = list(Path(rel_path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    return ""
+
+
+def lint_file(path: Path, root: Path,
+              select: frozenset[str] | None = None) -> tuple[list[Finding], list[Finding]]:
+    """Lint one file; returns ``(findings, suppressed)`` in sorted order."""
+    rel = _relative(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        broken = Finding(path=rel, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                         code=META_CODE, message=f"file does not parse: {exc.msg}")
+        return [_stamp(broken, "")], []
+    ctx = LintContext(path=rel, module=_module_name(rel), source=source,
+                      lines=tuple(source.splitlines()))
+    raw: list[Finding] = []
+    for rule in rules_for_module(ctx.module, select=select):
+        for line, col, message in rule.check(tree, ctx):
+            raw.append(Finding(path=rel, line=line, col=col, code=rule.code,
+                               message=message))
+
+    suppressions = scan_suppressions(source)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in sorted(raw):
+        covered = False
+        for suppression in suppressions:
+            if finding.code in suppression.codes and suppression.covers(finding.line):
+                suppression.used.add(finding.code)
+                covered = True
+        (suppressed if covered else kept).append(finding)
+
+    for suppression in suppressions:
+        unused = [code for code in suppression.codes if code not in suppression.used]
+        if unused:
+            kept.append(Finding(
+                path=rel, line=suppression.line, col=0, code=META_CODE,
+                message=f"unused suppression for {', '.join(unused)}: no such "
+                        f"finding on the covered line(s); delete or fix the "
+                        f"annotation"))
+        if not suppression.reason:
+            kept.append(Finding(
+                path=rel, line=suppression.line, col=0, code=META_CODE,
+                message="suppression without a reason; write down why the "
+                        "contract may be bent here (# repro: allow[RPL###] "
+                        "because ...)"))
+
+    occurrences: dict[tuple[str, str], int] = {}
+    stamped: list[Finding] = []
+    for finding in sorted(kept):
+        stamped.append(_stamp_with(finding, ctx.lines, occurrences))
+    stamped_suppressed: list[Finding] = []
+    for finding in sorted(suppressed):
+        stamped_suppressed.append(_stamp_with(finding, ctx.lines, occurrences))
+    return stamped, stamped_suppressed
+
+
+def _stamp_with(finding: Finding, lines: tuple[str, ...],
+                occurrences: dict[tuple[str, str], int]) -> Finding:
+    text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+    key = (finding.code, text.strip())
+    index = occurrences.get(key, 0)
+    occurrences[key] = index + 1
+    return _stamp(finding, text, index)
+
+
+def _stamp(finding: Finding, source_line: str, occurrence: int = 0) -> Finding:
+    return Finding(path=finding.path, line=finding.line, col=finding.col,
+                   code=finding.code, message=finding.message,
+                   fingerprint=fingerprint(finding.path, finding.code,
+                                           source_line, occurrence))
+
+
+def lint_paths(paths: list[str | Path], root: str | Path,
+               baseline: "object | None" = None,
+               select: frozenset[str] | None = None) -> LintResult:
+    """Lint every file under ``paths``; apply ``baseline`` when given.
+
+    ``baseline`` is a :class:`repro.lint.baseline.Baseline` (duck-typed via its
+    ``absorbs``/``stale_entries`` methods to keep this module import-light).
+    """
+    root = Path(root)
+    result = LintResult()
+    for path in discover_files(paths, root):
+        findings, suppressed = lint_file(path, root, select=select)
+        result.files_checked += 1
+        result.suppressed.extend(suppressed)
+        for finding in findings:
+            if (baseline is not None and finding.code != META_CODE
+                    and baseline.absorbs(finding)):
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort()
+    result.baselined.sort()
+    result.suppressed.sort()
+    if baseline is not None:
+        result.stale_baseline = baseline.stale_entries()
+    return result
+
+
+# -------------------------------------------------------------------------- reports
+
+
+def render_text(result: LintResult) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    summary = (f"{len(result.findings)} finding(s) in {result.files_checked} "
+               f"file(s) ({len(result.baselined)} baselined, "
+               f"{len(result.suppressed)} suppressed)")
+    lines.append(("clean: " if not result.findings else "") + summary)
+    for entry in result.stale_baseline:
+        lines.append(f"warning: stale baseline entry {entry['code']} at "
+                     f"{entry['path']}:{entry['line']} no longer matches; "
+                     f"refresh with --write-baseline")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-oriented report; byte-identical across runs on the same tree."""
+    payload = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "counts": result.counts(),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "stale_baseline": result.stale_baseline,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

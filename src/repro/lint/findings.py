@@ -1,0 +1,57 @@
+"""Lint findings and their stable fingerprints.
+
+A :class:`Finding` is one rule violation at one source location.  Findings sort by
+``(path, line, col, code, message)`` so every reporter emits them in the same order
+regardless of discovery order -- the byte-identical-output discipline the rest of the
+repo applies to caches extends to the linter's own reports.
+
+Fingerprints anchor baseline entries (see :mod:`repro.lint.baseline`) to the *content*
+of the offending line rather than its number: a finding's fingerprint is a blake2b
+digest of ``(path, code, stripped source line, occurrence index)``, so grandfathered
+findings survive unrelated edits that shift line numbers, while any edit to the
+flagged line itself surfaces the finding again for a fresh look.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "fingerprint"]
+
+
+def fingerprint(path: str, code: str, source_line: str, occurrence: int) -> str:
+    """Stable identity of one finding, independent of its line number.
+
+    ``occurrence`` disambiguates identical source lines within one file (0 for the
+    first, 1 for the second, ...), counted in file order over findings that share
+    ``(code, stripped line)``.
+    """
+    text = "::".join((path, code, source_line.strip(), str(occurrence)))
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is root-relative with POSIX separators (never absolute), which keeps
+    reports byte-identical across checkouts.  ``fingerprint`` is excluded from
+    ordering (it is derived from the other fields plus file-local context).
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    fingerprint: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        """The classic one-line ``path:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "message": self.message,
+                "fingerprint": self.fingerprint}

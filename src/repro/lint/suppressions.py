@@ -1,0 +1,86 @@
+"""Inline suppression comments: ``# repro: allow[RPL001] reason``.
+
+A suppression silences named rule codes on the line carrying the comment; a comment
+that stands alone on its line covers the *next* line instead (for statements too long
+to share a line with their annotation).  The reason text after the bracket is
+mandatory -- an allow that does not say *why* the contract may be bent is itself a
+finding (``RPL000``), as is an allow that no finding matches (stale annotations rot
+into misinformation).
+
+Multiple codes may share one comment: ``# repro: allow[RPL001,RPL003] reason``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "scan_suppressions", "ALLOW_PATTERN"]
+
+#: Matches ``repro: allow[...]`` comments carrying one or more RPL codes plus an
+#: optional free-text reason (the engine makes a missing reason a finding).
+ALLOW_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[\s*(?P<codes>RPL\d{3}(?:\s*,\s*RPL\d{3})*)\s*\]\s*(?P<reason>.*)")
+
+
+@dataclass
+class Suppression:
+    """One parsed allow comment."""
+
+    line: int                      # line carrying the comment (1-based)
+    codes: tuple[str, ...]
+    reason: str
+    target: int                    # line the suppression covers (== line when trailing)
+    used: set[str] = field(default_factory=set)   # codes that suppressed a finding
+
+    def covers(self, line: int) -> bool:
+        return line == self.line or line == self.target
+
+
+def scan_suppressions(source: str) -> list[Suppression]:
+    """Extract every allow comment from ``source`` (robust to ``#`` inside strings).
+
+    A trailing comment covers its own line; a standalone comment covers the next
+    *code* line, skipping over blank lines and the rest of its comment block (so a
+    reason may wrap across several comment lines).  Tokenization errors fall back
+    to a line-by-line regex scan so a file the lint parser itself rejects still
+    has its annotations honoured.
+    """
+    lines = source.splitlines()
+    suppressions: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        for number, text in enumerate(lines, start=1):
+            match = ALLOW_PATTERN.search(text)
+            if match is not None:
+                suppressions.append(_build(match, number, lines))
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = ALLOW_PATTERN.search(token.string)
+        if match is None:
+            continue
+        suppressions.append(_build(match, token.start[0], lines))
+    return suppressions
+
+
+def _build(match: "re.Match[str]", line: int, lines: list[str]) -> Suppression:
+    codes = tuple(code.strip() for code in match.group("codes").split(","))
+    return Suppression(line=line, codes=codes, reason=match.group("reason").strip(),
+                       target=_target_line(line, lines))
+
+
+def _target_line(line: int, lines: list[str]) -> int:
+    """The line a comment at ``line`` covers (1-based; itself when trailing)."""
+    text = lines[line - 1] if 0 < line <= len(lines) else ""
+    if not text.lstrip().startswith("#"):
+        return line  # trailing comment: covers its own statement
+    for number in range(line + 1, len(lines) + 1):
+        stripped = lines[number - 1].strip()
+        if stripped and not stripped.startswith("#"):
+            return number
+    return line

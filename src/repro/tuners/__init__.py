@@ -22,7 +22,7 @@ external frameworks (Optuna, SMAC3, Kernel Tuner, KTT), and
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Callable
 
 from repro.tuners.base import Tuner
 from repro.tuners.random_search import RandomSearch

@@ -17,7 +17,6 @@ import numpy as np
 from repro.core.budget import Budget
 from repro.core.errors import BudgetExhaustedError
 from repro.core.problem import TuningProblem
-from repro.core.result import TuningResult
 from repro.tuners.base import Tuner
 
 __all__ = ["PortfolioTuner"]

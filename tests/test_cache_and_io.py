@@ -87,7 +87,6 @@ class TestEvaluationCache:
         assert missing.is_failure or not missing.is_failure
 
     def test_replay_problem_non_strict(self, toy_cache):
-        space = toy_cache.space
         problem = toy_cache.to_problem(strict=False)
         # A member configuration missing from the cache is reported invalid.
         obs = problem.evaluate({"x": 2, "y": 2})

@@ -20,7 +20,7 @@ import numpy as np
 import pytest
 
 from repro.core.cache import EvaluationCache
-from repro.core.errors import FragmentIntegrityError, ReproError, SerializationError
+from repro.core.errors import FragmentIntegrityError, SerializationError
 from repro.core.parameter import Parameter
 from repro.core.searchspace import SearchSpace
 from repro.exec import (
@@ -42,7 +42,6 @@ from repro.io.columnar import (
     peek_columnar_header,
     read_columnar,
     save_columnar_fragment,
-    write_columnar,
 )
 
 SAMPLE_N = 120

@@ -65,9 +65,10 @@ def serial_caches(planner):
 
 class TestShardPlanner:
     def test_plan_is_deterministic(self, benchmarks, gpus):
-        make = lambda: ShardPlanner(benchmarks, gpus, sample_size=SAMPLE_N,
-                                    exhaustive_limit=EXHAUSTIVE_LIMIT, seed=99,
-                                    shard_size=SHARD_SIZE).plan()
+        def make():
+            return ShardPlanner(benchmarks, gpus, sample_size=SAMPLE_N,
+                                exhaustive_limit=EXHAUSTIVE_LIMIT, seed=99,
+                                shard_size=SHARD_SIZE).plan()
         assert make().to_dict() == make().to_dict()
 
     def test_plan_round_trips_through_json(self, planner):

@@ -157,7 +157,6 @@ class TestQualitativeLandmarks:
         benchmark = suite["pnpoly"]
         cache_3090 = benchmark.build_cache(RTX_3090)
         best = cache_3090.best().config
-        own = cache_3090.best().value
 
         def relative(gpu):
             target_cache = benchmark.build_cache(gpu)

@@ -21,7 +21,6 @@ Four layers of protection:
 from __future__ import annotations
 
 import json
-import math
 
 import numpy as np
 import pytest

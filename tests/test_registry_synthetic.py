@@ -32,7 +32,7 @@ import numpy as np
 import pytest
 
 import repro.core.cache as cache_module
-from repro.core.cache import CacheIndexTable, EvaluationCache
+from repro.core.cache import EvaluationCache
 from repro.core.errors import ReproError
 from repro.core.parameter import Parameter
 from repro.core.registry import (

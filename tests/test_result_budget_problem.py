@@ -19,7 +19,8 @@ def _toy_problem(evaluate=None, memoize=True):
     space = SearchSpace([Parameter("x", (1, 2, 3, 4)), Parameter("y", (1, 2, 3, 4))],
                         ["x * y <= 12"])
     if evaluate is None:
-        evaluate = lambda cfg: float(cfg["x"] * 10 + cfg["y"])
+        def evaluate(cfg):
+            return float(cfg["x"] * 10 + cfg["y"])
     return TuningProblem("toy", space, evaluate, gpu="SIM", memoize=memoize)
 
 

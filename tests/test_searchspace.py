@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.constraints import ConstraintSet
 from repro.core.errors import EmptySearchSpaceError, InvalidConfigurationError
 from repro.core.parameter import Parameter
 from repro.core.searchspace import SearchSpace, config_key
